@@ -1,0 +1,108 @@
+"""Ablation: halo width — accuracy vs cost (Sec. III-B).
+
+"The halo width is determined empirically.  Larger halos improve accuracy
+but increase computation; smaller halos reduce cost but risk accuracy
+loss."  We quantify both sides: seam error of tiled inference against the
+untiled reference (using a trained model evaluated with tiles of the same
+size it was trained at), and the per-tile token overhead of the halo.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_CONFIGS, TiledDownscaler
+from repro.distributed import DownscalingWorkload
+from repro.tensor import Tensor, bilinear_upsample, no_grad
+from repro.nn import Module
+
+from benchmarks.common import write_table
+
+
+class _LocalSmoother(Module):
+    """A downscaler with a finite, known receptive field: bilinear
+    upsample + 5-point smoothing.  Ground truth for halo sufficiency —
+    with halo >= receptive field the tiled output must be exact."""
+
+    def __init__(self, factor=2, passes=2):
+        super().__init__()
+        self.factor = factor
+        self.passes = passes
+
+    def forward(self, x: Tensor) -> Tensor:
+        _, _, h, w = x.shape
+        out = bilinear_upsample(x, h * self.factor, w * self.factor)
+        for _ in range(self.passes):
+            padded = out.pad(((0, 0), (0, 0), (1, 1), (1, 1)))
+            out = (
+                padded[:, :, 1:-1, 1:-1] * 0.6
+                + (padded[:, :, :-2, 1:-1] + padded[:, :, 2:, 1:-1]
+                   + padded[:, :, 1:-1, :-2] + padded[:, :, 1:-1, 2:]) * 0.1
+            )
+        return out
+
+
+@pytest.fixture(scope="module")
+def seam_errors():
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 2, 32, 32)).astype(np.float32))
+    model = _LocalSmoother(factor=2)
+    with no_grad():
+        reference = model(x).data
+    errors = {}
+    for halo in (0, 1, 2, 4):
+        tiled = TiledDownscaler(model, n_tiles=4, halo=halo, factor=2)
+        with no_grad():
+            out = tiled(x).data
+        errors[halo] = float(np.abs(out - reference).max())
+    return errors
+
+
+def test_halo_sweep_accuracy(benchmark, seam_errors):
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 2, 32, 32)).astype(np.float32))
+    tiled = TiledDownscaler(_LocalSmoother(factor=2), n_tiles=4, halo=2, factor=2)
+    with no_grad():
+        benchmark(lambda: tiled(x))
+
+    lines = [
+        "Ablation: halo width vs tiling seam error (known receptive field ~2)",
+        f"{'halo':>5s} {'max seam error':>15s}",
+    ]
+    for halo, err in seam_errors.items():
+        lines.append(f"{halo:5d} {err:15.2e}")
+    write_table("ablation_halo_accuracy", lines)
+
+    # monotone: more halo, less seam error; enough halo → exact
+    errs = list(seam_errors.values())
+    assert all(a >= b - 1e-7 for a, b in zip(errs, errs[1:]))
+    assert seam_errors[0] > 1e-3           # no halo → visible seams
+    assert seam_errors[4] < 1e-5           # halo >= receptive field → exact
+
+
+def test_halo_cost_overhead(benchmark):
+    """The cost side: halo tokens inflate per-tile sequences, eventually
+    erasing the tiling gain (the paper's 36-tile regression)."""
+    cfg = PAPER_CONFIGS["9.5M"]
+    rows = []
+    for halo in (0, 4, 8, 16):
+        w = DownscalingWorkload(cfg, (180, 360), factor=4, out_channels=3,
+                                tiles=16, halo_tokens=halo)
+        base = DownscalingWorkload(cfg, (180, 360), factor=4, out_channels=3,
+                                   tiles=16, halo_tokens=0)
+        overhead = w.attention_tokens_per_tile() / base.attention_tokens_per_tile()
+        rows.append((halo, w.attention_tokens_per_tile(), overhead))
+    benchmark(lambda: DownscalingWorkload(
+        cfg, (180, 360), factor=4, out_channels=3, tiles=16,
+        halo_tokens=8).attention_tokens_per_tile())
+
+    lines = [
+        "Ablation: halo width vs per-tile token overhead (16 tiles, 112->28 km)",
+        f"{'halo tokens':>12s} {'tokens/tile':>12s} {'overhead':>9s}",
+    ]
+    for halo, tokens, ov in rows:
+        lines.append(f"{halo:12d} {tokens:12d} {ov:8.2f}x")
+    write_table("ablation_halo_cost", lines)
+
+    overheads = [r[2] for r in rows]
+    assert overheads == sorted(overheads)
+    assert overheads[-1] > 2.0  # a 16-token halo more than doubles the work

@@ -1,0 +1,95 @@
+"""Ablation: Hybrid-OP alternating sharding vs naive per-layer sharding.
+
+Sec. III-D adopts Hybrid-OP from ORBIT: alternating column/row sharding
+of matrix chains halves the collective COUNT (one all-reduce per layer
+pair instead of a gather after every layer) and, with narrow pair
+outputs, the byte volume too.  Measured on the real sharded chain
+executor plus the analytic volume model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    HybridOpChain,
+    ProcessGroup,
+    hybrid_chain_volume,
+    naive_sharded_chain_volume,
+)
+
+from benchmarks.common import write_table
+
+
+def _chain(dims, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((dims[i + 1], dims[i])).astype(np.float32) * 0.2
+            for i in range(len(dims) - 1)]
+
+
+def test_hybrid_chain_forward_benchmark(benchmark):
+    group = ProcessGroup(list(range(4)))
+    chain = HybridOpChain(_chain([64] * 9), group)
+    x = np.random.default_rng(1).standard_normal((8, 64)).astype(np.float32)
+    out = benchmark(lambda: chain.forward(x))
+    np.testing.assert_allclose(out, chain.reference(x), rtol=1e-3, atol=1e-4)
+
+
+def test_collective_count_halved(benchmark):
+    group = ProcessGroup(list(range(4)))
+    chain = HybridOpChain(_chain([32] * 9), group)
+    x = np.random.default_rng(2).standard_normal((4, 32)).astype(np.float32)
+    benchmark.pedantic(lambda: chain.forward(x), rounds=1, iterations=1)
+    n_layers = 8
+    assert chain.collectives_issued() == n_layers // 2
+    assert group.stats.calls["all_reduce"] >= n_layers // 2
+
+
+def test_volume_comparison_table(benchmark):
+    """Communication volume: Hybrid-OP vs per-layer output sharding."""
+    batch, world = 64, 8
+    cases = {
+        "uniform d=4096": [4096] * 9,
+        "MLP 4x expand": [1024, 4096, 1024, 4096, 1024, 4096, 1024, 4096, 1024],
+        "narrow bottleneck": [1024] + [4096, 128] * 4,
+    }
+    rows = []
+    for name, dims in cases.items():
+        naive = naive_sharded_chain_volume(batch, dims, world)
+        hybrid = hybrid_chain_volume(batch, dims, world)
+        rows.append((name, naive, hybrid, naive / hybrid))
+    benchmark(lambda: hybrid_chain_volume(batch, cases["MLP 4x expand"], world))
+
+    lines = [
+        "Ablation: Hybrid-OP communication volume (bytes/rank, 8-way)",
+        f"{'chain':20s} {'naive':>12s} {'hybrid':>12s} {'reduction':>10s}",
+    ]
+    for name, nv, hv, red in rows:
+        lines.append(f"{name:20s} {nv:12.3g} {hv:12.3g} {red:9.2f}x")
+    lines.append("")
+    lines.append("collective count: hybrid issues 1 all-reduce per layer PAIR")
+    lines.append("(half the frequency of per-layer sharding at any shape)")
+    write_table("ablation_hybrid_op", lines)
+
+    by_name = {name: red for name, _, _, red in rows}
+    # the MLP shape (what transformers actually are): hybrid avoids
+    # gathering the wide hidden activations entirely
+    assert by_name["MLP 4x expand"] > 2.0
+    assert by_name["narrow bottleneck"] > 2.0
+    assert by_name["uniform d=4096"] >= 0.99  # never worse
+
+
+def test_scaling_with_world_size(benchmark):
+    """The reduction persists across tensor-parallel widths."""
+    dims = [1024, 4096] * 4 + [1024]
+    rows = []
+    for world in (2, 4, 8, 16):
+        red = naive_sharded_chain_volume(32, dims, world) / \
+            hybrid_chain_volume(32, dims, world)
+        rows.append((world, red))
+    benchmark(lambda: hybrid_chain_volume(32, dims, 8))
+    lines = ["Hybrid-OP volume reduction vs tensor-parallel width",
+             f"{'world':>6s} {'reduction':>10s}"]
+    for world, red in rows:
+        lines.append(f"{world:6d} {red:9.2f}x")
+    write_table("ablation_hybrid_op_scaling", lines)
+    assert all(red > 1.5 for _, red in rows)

@@ -1,0 +1,106 @@
+"""Fig. 3: adaptive spatial compression via Canny-guided quad-trees.
+
+The paper's figure shows a ~7x patch-token reduction on an example field.
+We regenerate the statistic on synthetic climate fields of increasing
+structure: smooth fields compress strongly, feature-rich fields less so,
+and reconstruction error concentrates in the coarse (smooth) leaves.
+Benchmarks time quad-tree construction and the compress/decompress pair.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadTreeCompressor, build_quadtree, uniform_token_count
+from repro.data import ClimateWorld, Grid, gaussian_random_field, variable_index
+from repro.tensor import Tensor
+
+from benchmarks.common import write_table
+
+GRID = (64, 64)
+
+
+def _feature_image(kind: str) -> np.ndarray:
+    rng = np.random.default_rng(3)
+    if kind == "smooth":
+        return gaussian_random_field(GRID, 4.0, rng)
+    if kind == "rough":
+        return gaussian_random_field(GRID, 1.2, rng)
+    if kind == "frontal":
+        # smooth background + one sharp front (the Fig. 3 scenario)
+        base = gaussian_random_field(GRID, 3.5, rng) * 0.3
+        base[:, GRID[1] // 2:] += 2.0
+        return base
+    raise ValueError(kind)
+
+
+def test_quadtree_build_benchmark(benchmark):
+    img = _feature_image("frontal")
+    leaves = benchmark(lambda: build_quadtree(img, min_patch=2, max_patch=32))
+    assert leaves
+
+
+def test_compress_decompress_benchmark(benchmark):
+    comp = QuadTreeCompressor.from_feature_image(_feature_image("frontal"),
+                                                 patch=2, max_patch=32)
+    rng = np.random.default_rng(0)
+    x = Tensor(rng.standard_normal((1, 3, *GRID)).astype(np.float32))
+
+    def roundtrip():
+        return comp.decompress(comp.compress(x), channels=3)
+
+    out = benchmark(roundtrip)
+    assert out.shape == (1, 3, *GRID)
+
+
+def test_fig3_compression_ratios(benchmark):
+    """Regenerate the token-reduction statistic across field types."""
+    rows = []
+    for kind in ("smooth", "frontal", "rough"):
+        img = _feature_image(kind)
+        comp = QuadTreeCompressor.from_feature_image(img, patch=2, max_patch=32)
+        rows.append((kind, comp.num_tokens, comp.compression_ratio))
+    benchmark(lambda: QuadTreeCompressor.from_feature_image(
+        _feature_image("frontal"), patch=2, max_patch=32))
+
+    uniform = uniform_token_count(*GRID, 2)
+    lines = [
+        f"Fig. 3: quad-tree adaptive compression ({GRID[0]}x{GRID[1]} grid, "
+        f"uniform patching = {uniform} tokens; paper example: ~7x reduction)",
+        "-" * 60,
+        f"{'field type':12s} {'tokens':>8s} {'reduction':>10s}",
+    ]
+    for kind, tokens, ratio in rows:
+        lines.append(f"{kind:12s} {tokens:8d} {ratio:9.1f}x")
+    write_table("fig3_quadtree_compression", lines)
+
+    ratios = {kind: ratio for kind, _, ratio in rows}
+    # Canny thresholds are contrast-relative, so compression tracks how
+    # LOCALIZED the structure is: a field dominated by one sharp front
+    # compresses hardest (everything away from the front is "featureless"
+    # at that contrast), while diffuse GRFs — smooth or rough — have
+    # relative edges everywhere and compress modestly
+    assert ratios["frontal"] > ratios["smooth"] >= ratios["rough"] >= 1.0
+    assert ratios["frontal"] > 7.0  # the paper example's ~7x, exceeded
+
+
+def test_compression_on_climate_fields(benchmark):
+    """Real synthetic climate variables: temperature (smooth) compresses
+    more than precipitation (rough) — the adaptivity the design targets."""
+    world = ClimateWorld(Grid(64, 128), seed=5)
+    sample = world.fine_sample(2000, 0)
+
+    def ratio_for(name):
+        field = sample[variable_index(name)][:, :64]
+        field = (field - field.mean()) / (field.std() + 1e-9)
+        comp = QuadTreeCompressor.from_feature_image(field, patch=2, max_patch=32)
+        return comp.compression_ratio
+
+    r_t = benchmark.pedantic(lambda: ratio_for("t2m"), rounds=1, iterations=1)
+    r_p = ratio_for("total_precipitation")
+    lines = [
+        "Adaptive compression on synthetic climate fields",
+        f"t2m (smooth):               {r_t:.1f}x",
+        f"total_precipitation (rough): {r_p:.1f}x",
+    ]
+    write_table("fig3_climate_fields", lines)
+    assert r_t >= r_p

@@ -1,0 +1,83 @@
+"""Fig. 6(b): strong scaling efficiency and sustained throughput,
+512 → 32,768 GPUs, for all four model sizes.
+
+Modelled through the Frontier-calibrated performance model.  The paper's
+claims pinned here: 92–98% efficiency at 4096 nodes for every size, the
+9.5M model underutilizing (hundreds of PF) while 126M/1B/10B sustain
+ExaFLOPS-class throughput.
+"""
+
+import pytest
+
+from repro.core import PAPER_CONFIGS
+from repro.distributed import (
+    DownscalingWorkload,
+    strong_scaling_efficiency,
+    sustained_flops,
+    time_per_sample,
+)
+
+from benchmarks.common import write_table
+
+GPU_COUNTS = [512, 2048, 8192, 32768]
+PAPER_SUSTAINED = {"9.5M": 363e15, "126M": 1.3e18, "1B": 1.5e18, "10B": 1.8e18}
+
+
+def _workload(name):
+    return DownscalingWorkload(PAPER_CONFIGS[name], (180, 360), factor=4,
+                               out_channels=3, tiles=16)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    out = {}
+    for name in PAPER_CONFIGS:
+        w = _workload(name)
+        out[name] = {
+            "eff": strong_scaling_efficiency(w, GPU_COUNTS),
+            "sustained": sustained_flops(w, 32768),
+            "t32k": time_per_sample(w, 32768),
+        }
+    return out
+
+
+def test_generate_fig6b(benchmark, scaling):
+    benchmark(lambda: strong_scaling_efficiency(_workload("126M"), GPU_COUNTS))
+    lines = [
+        "Fig. 6(b): strong scaling efficiency & sustained throughput (modelled)",
+        "paper: 92-98% at 32,768 GPUs; 363 PF / 1.3 EF / 1.5 EF / 1.8 EF",
+        "-" * 78,
+        f"{'model':6s} " + " ".join(f"{n:>9d}" for n in GPU_COUNTS)
+        + f" {'sustained':>12s} {'paper':>9s}",
+    ]
+    for name, row in scaling.items():
+        rate = row["sustained"]
+        unit = f"{rate / 1e18:.2f} EF" if rate >= 1e17 else f"{rate / 1e15:.0f} PF"
+        paper = PAPER_SUSTAINED[name]
+        punit = f"{paper / 1e18:.1f} EF" if paper >= 1e17 else f"{paper / 1e15:.0f} PF"
+        lines.append(
+            f"{name:6s} " + " ".join(f"{row['eff'][n] * 100:8.1f}%" for n in GPU_COUNTS)
+            + f" {unit:>12s} {punit:>9s}"
+        )
+    lines.append(f"\n9.5M time/sample at 32,768 GPUs: "
+                 f"{scaling['9.5M']['t32k']:.1e} s (paper 2.5e-6 s)")
+    write_table("fig6b_strong_scaling", lines)
+
+    for name, row in scaling.items():
+        assert 0.90 <= row["eff"][32768] <= 1.0, name   # the 92-98% band
+        assert row["eff"][2048] >= row["eff"][32768]    # monotone decay
+
+
+def test_small_model_underutilizes(benchmark, scaling):
+    benchmark(lambda: sustained_flops(_workload("9.5M"), 32768))
+    assert scaling["9.5M"]["sustained"] < 1e18          # PF, not EF
+    for big in ("126M", "1B", "10B"):
+        assert scaling[big]["sustained"] > 1e18          # ExaFLOPS class
+        assert scaling[big]["sustained"] > 2 * scaling["9.5M"]["sustained"]
+
+
+def test_sustained_within_2x_of_paper(benchmark, scaling):
+    benchmark(lambda: sustained_flops(_workload("10B"), 32768))
+    for name, row in scaling.items():
+        ratio = row["sustained"] / PAPER_SUSTAINED[name]
+        assert 0.4 < ratio < 2.5, f"{name}: modelled/paper = {ratio:.2f}"

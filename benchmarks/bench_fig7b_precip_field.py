@@ -1,0 +1,138 @@
+"""Fig. 7(b): daily total precipitation — ground truth vs ORBIT-2 field.
+
+The paper shows a visual side-by-side of the 7 km DAYMET field and the
+126M model's downscaled field, claiming faithful reconstruction of
+fine-scale precipitation structure.  Text rendition: field-level pattern
+statistics (pattern correlation, SSIM, wet-area overlap, intensity
+histogram agreement) of the large model's best/median test samples, with
+an ASCII rendering of one field pair written to the results file.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import log1p_precip
+from repro.evals import ssim
+
+from benchmarks.common import trained_model, write_table
+
+PRECIP = 2
+
+
+def _pattern_correlation(a, b):
+    a, b = a.reshape(-1), b.reshape(-1)
+    return float(np.corrcoef(a, b)[0, 1])
+
+
+def _wet_area_iou(pred, truth, threshold=0.5):
+    wp, wt = pred > threshold, truth > threshold
+    union = np.logical_or(wp, wt).sum()
+    if union == 0:
+        return 1.0
+    return float(np.logical_and(wp, wt).sum() / union)
+
+
+def _ascii_field(field, width=48):
+    """Coarse ASCII rendering of a 2-D field (for the results file)."""
+    h, w = field.shape
+    step_h, step_w = max(1, h // 12), max(1, w // width)
+    chars = " .:-=+*#%@"
+    sub = field[::step_h, ::step_w]
+    lo, hi = sub.min(), sub.max()
+    scaled = np.zeros_like(sub, dtype=int) if hi <= lo else \
+        ((sub - lo) / (hi - lo) * (len(chars) - 1)).astype(int)
+    return ["".join(chars[v] for v in row) for row in scaled]
+
+
+@pytest.fixture(scope="module")
+def fields():
+    _, _, _, preds, targets = trained_model("126M-scaled")
+    return log1p_precip(preds[:, PRECIP]), log1p_precip(targets[:, PRECIP])
+
+
+def test_generate_fig7b(benchmark, fields):
+    preds, truths = fields
+    benchmark(lambda: _pattern_correlation(preds[0], truths[0]))
+
+    stats = []
+    for p, t in zip(preds, truths):
+        stats.append({
+            "pattern_corr": _pattern_correlation(p, t),
+            "ssim": ssim(p, t),
+            "wet_iou": _wet_area_iou(p, t),
+        })
+    mean = {k: float(np.mean([s[k] for s in stats])) for k in stats[0]}
+
+    best = int(np.argmax([s["pattern_corr"] for s in stats]))
+    lines = [
+        "Fig. 7(b): precipitation field reconstruction (126M-scaled model)",
+        f"mean over {len(stats)} test samples:",
+        f"  pattern correlation : {mean['pattern_corr']:.3f}",
+        f"  SSIM                : {mean['ssim']:.3f}",
+        f"  wet-area IoU (>0.5) : {mean['wet_iou']:.3f}",
+        "",
+        "ground truth (log precip):",
+        *_ascii_field(truths[best]),
+        "",
+        "model prediction:",
+        *_ascii_field(preds[best]),
+    ]
+    write_table("fig7b_precip_field", lines)
+
+    assert mean["pattern_corr"] > 0.5   # fine-scale structure recovered
+    assert mean["wet_iou"] > 0.3        # wet regions placed correctly
+
+
+def test_intensity_distribution_upper_quantiles(benchmark, fields):
+    """Wet-intensity quantiles (q >= 0.7) match the truth.
+
+    Low quantiles exhibit the canonical *drizzle bias* of non-generative
+    regression downscalers (small positive rain where the truth is dry) —
+    the very limitation the paper's related-work section attributes to
+    this model class; it is reported in the table, not hidden.
+    """
+    preds, truths = fields
+    qs = np.linspace(0.1, 0.95, 10)
+    pq = benchmark(lambda: np.quantile(preds, qs))
+    tq = np.quantile(truths, qs)
+    dry_frac_truth = float((truths <= 1e-6).mean())
+    dry_frac_pred = float((preds <= 1e-6).mean())
+    lines = ["Precip intensity quantiles (log space): pred vs truth",
+             f"truth dry fraction: {dry_frac_truth:.2f}; "
+             f"model dry fraction: {dry_frac_pred:.2f} (drizzle bias)",
+             f"{'q':>5s} {'pred':>8s} {'truth':>8s}"]
+    for q, a, b in zip(qs, pq, tq):
+        lines.append(f"{q:5.2f} {a:8.3f} {b:8.3f}")
+    write_table("fig7b_intensity_quantiles", lines)
+    upper = qs >= 0.7
+    np.testing.assert_allclose(pq[upper], tq[upper], atol=0.35)
+    # the drizzle bias exists (deterministic regression can't predict
+    # exact zeros) — documented behaviour, not an accident
+    assert dry_frac_pred < dry_frac_truth
+
+
+def test_event_detection_skill(benchmark, fields):
+    """Operational verification: categorical skill for rain-event
+    detection (POD / FAR / CSI / frequency bias / ETS) at increasing
+    thresholds — heavier events are rarer and harder."""
+    from repro.evals import event_skill
+
+    preds, truths = fields
+    thresholds = [0.2, 0.7, 1.3]  # log(x+1) space
+    rows = [(thr, event_skill(preds, truths, thr)) for thr in thresholds]
+    benchmark(lambda: event_skill(preds, truths, 0.7))
+
+    lines = [
+        "Precipitation event-detection skill (126M-scaled model, log space)",
+        f"{'thr':>5s} {'POD':>6s} {'FAR':>6s} {'CSI':>6s} {'bias':>6s} {'ETS':>6s}",
+    ]
+    for thr, s in rows:
+        lines.append(f"{thr:5.1f} {s['pod']:6.2f} {s['far']:6.2f} "
+                     f"{s['csi']:6.2f} {s['bias']:6.2f} {s['ets']:6.2f}")
+    write_table("fig7b_event_skill", lines)
+
+    light = rows[0][1]
+    assert light["csi"] > 0.4       # real detection skill at light thresholds
+    assert light["ets"] > 0.1       # beyond chance
+    # skill degrades toward the extremes — the Table IV(b) tail pattern
+    assert rows[-1][1]["csi"] <= rows[0][1]["csi"] + 0.05

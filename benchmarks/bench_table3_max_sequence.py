@@ -1,0 +1,100 @@
+"""Table III: maximum sequence-length scaling across architectures,
+model sizes, compression, tiles, and GPU counts.
+
+The table is regenerated from the memory model (parameters + optimizer
+state + linear activations + attention workspace vs 64 GB per GCD); the
+benchmark times the memory-capacity search.  Assertions pin the paper's
+qualitative structure: the baseline ViT is stuck at O(10^5–10^6) tokens,
+Reslim reaches hundreds of millions on 8 GPUs, tiles × compression push
+past a billion, and the 10B model trades sequence for parameters.
+"""
+
+import pytest
+
+from repro.core import PAPER_CONFIGS
+from repro.data import Grid
+from repro.distributed import max_output_tokens
+
+from benchmarks.common import write_table
+
+ROWS = [
+    # (architecture, model, compression, tiles, gpus, flash, paper_tokens, paper_km)
+    ("vit", "9.5M", 1.0, 1, 8, False, 25e3, 156),
+    ("reslim", "9.5M", 1.0, 1, 8, True, 298e6, 3.5),
+    ("reslim", "9.5M", 1.0, 1, 32, True, 466e6, 2.7),
+    ("reslim", "9.5M", 4.0, 16, 8, True, 1.1e9, 1.7),
+    ("reslim", "9.5M", 4.0, 16, 128, True, 4.2e9, 0.9),
+    ("reslim", "10B", 1.0, 1, 8, True, 18e6, 14),
+    ("reslim", "10B", 4.0, 16, 8, True, 74e6, 6.9),
+    ("reslim", "10B", 4.0, 16, 512, True, 671e6, 2.3),
+]
+
+
+@pytest.fixture(scope="module")
+def table3():
+    out = []
+    for arch, model, comp, tiles, gpus, flash, paper_tok, paper_km in ROWS:
+        try:
+            w = max_output_tokens(PAPER_CONFIGS[model], gpus, architecture=arch,
+                                  tiles=tiles, compression=comp,
+                                  flash_attention=flash)
+            tokens = w.output_tokens
+            km = Grid(*w.fine_shape).resolution_km
+        except MemoryError:
+            tokens, km = 0, float("inf")
+        out.append((arch, model, comp, tiles, gpus, tokens, km, paper_tok, paper_km))
+    return out
+
+
+def test_generate_table3(benchmark, table3):
+    benchmark(lambda: max_output_tokens(PAPER_CONFIGS["9.5M"], 8))
+    lines = [
+        "Table III: maximum sequence length (modelled vs paper)",
+        "-" * 88,
+        f"{'arch':8s} {'model':6s} {'comp':>4s} {'tiles':>5s} {'GPUs':>5s} "
+        f"{'modelled':>10s} {'paper':>8s} {'km':>6s} {'paper km':>8s}",
+    ]
+    for arch, model, comp, tiles, gpus, tokens, km, ptok, pkm in table3:
+        lines.append(
+            f"{arch:8s} {model:6s} {comp:4.0f} {tiles:5d} {gpus:5d} "
+            f"{tokens:10.3g} {ptok:8.3g} {km:6.1f} {pkm:8.1f}"
+        )
+    write_table("table3_max_sequence", lines)
+    # key structural claims, checked here so --benchmark-only covers them
+    vit_tokens, reslim_tokens = table3[0][5], table3[1][5]
+    assert reslim_tokens / vit_tokens > 50
+    assert table3[3][5] > 1e9
+    assert table3[4][6] <= 1.0  # sub-kilometre resolution reached
+
+
+def test_vit_stuck_at_small_sequences(table3):
+    vit_tokens = table3[0][5]
+    reslim_tokens = table3[1][5]
+    assert vit_tokens < 5e6
+    assert reslim_tokens / vit_tokens > 50  # orders-of-magnitude gap
+
+
+def test_reslim_reaches_hundreds_of_millions_on_8_gpus(table3):
+    assert table3[1][5] > 1e8
+
+
+def test_tiles_and_compression_break_the_billion(table3):
+    assert table3[3][5] > 1e9   # 16 tiles + 4x compression, 8 GPUs
+    assert table3[4][5] > 3e9   # ... and 128 GPUs
+
+
+def test_10b_trades_sequence_for_parameters(table3):
+    reslim_95m = table3[1][5]
+    reslim_10b = table3[5][5]
+    assert reslim_10b < reslim_95m
+    assert reslim_10b > 1e6  # but still far beyond the ViT baseline
+
+
+def test_gpu_scaling_monotone(table3):
+    assert table3[4][5] >= table3[3][5]   # 128 GPUs >= 8 GPUs
+    assert table3[7][5] >= table3[6][5]   # 512 GPUs >= 8 GPUs (10B)
+
+
+def test_sub_kilometre_resolution_reached(table3):
+    km_best = table3[4][6]
+    assert km_best <= 1.0  # the 0.9 km headline

@@ -1,0 +1,176 @@
+"""Command-line interface: train / evaluate / scale / export.
+
+Entry points for downstream users who want results without writing code:
+
+* ``repro train``    — train a Reslim downscaler on a synthetic world and
+  save a checkpoint;
+* ``repro evaluate`` — score a checkpoint on held-out years (Table-IV
+  style metric rows);
+* ``repro scale``    — print the modelled exascale tables (Table III,
+  Fig. 6) for a chosen model size;
+* ``repro export``   — materialize a dataset split to a ``.npz`` archive.
+
+Run ``python -m repro.cli <command> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="ORBIT-2 reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("train", help="train a Reslim downscaler")
+    t.add_argument("--epochs", type=int, default=10)
+    t.add_argument("--embed-dim", type=int, default=32)
+    t.add_argument("--depth", type=int, default=2)
+    t.add_argument("--heads", type=int, default=4)
+    t.add_argument("--factor", type=int, default=4)
+    t.add_argument("--grid", type=int, nargs=2, default=(32, 64),
+                   metavar=("NLAT", "NLON"), help="fine grid shape")
+    t.add_argument("--years", type=int, default=5)
+    t.add_argument("--samples-per-year", type=int, default=6)
+    t.add_argument("--lr", type=float, default=4e-3)
+    t.add_argument("--bf16", action="store_true")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--output", default="reslim.ckpt")
+
+    e = sub.add_parser("evaluate", help="evaluate a checkpoint")
+    e.add_argument("checkpoint")
+    e.add_argument("--embed-dim", type=int, default=32)
+    e.add_argument("--depth", type=int, default=2)
+    e.add_argument("--heads", type=int, default=4)
+    e.add_argument("--factor", type=int, default=4)
+    e.add_argument("--grid", type=int, nargs=2, default=(32, 64))
+    e.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("scale", help="print modelled exascale results")
+    s.add_argument("--model", choices=["9.5M", "126M", "1B", "10B"], default="9.5M")
+    s.add_argument("--gpus", type=int, nargs="+",
+                   default=[512, 2048, 8192, 32768])
+    s.add_argument("--tiles", type=int, default=16)
+
+    x = sub.add_parser("export", help="export a dataset split to .npz")
+    x.add_argument("--grid", type=int, nargs=2, default=(32, 64))
+    x.add_argument("--factor", type=int, default=4)
+    x.add_argument("--years", type=int, default=2)
+    x.add_argument("--samples-per-year", type=int, default=4)
+    x.add_argument("--seed", type=int, default=0)
+    x.add_argument("--output", default="dataset.npz")
+    return parser
+
+
+def _make_dataset(grid, factor, n_years, samples_per_year, seed):
+    from repro.data import DatasetSpec, DownscalingDataset, Grid
+
+    years = tuple(range(2000, 2000 + n_years))
+    spec = DatasetSpec(name="cli", fine_grid=Grid(*grid), factor=factor,
+                       years=years, samples_per_year=samples_per_year,
+                       seed=seed, output_channels=(17, 18, 19))
+    return DownscalingDataset(spec, years=years)
+
+
+def _cmd_train(args) -> int:
+    from repro.core import ModelConfig, Reslim
+    from repro.train import TrainConfig, Trainer, save_checkpoint
+
+    config = ModelConfig("cli", embed_dim=args.embed_dim, depth=args.depth,
+                         num_heads=args.heads)
+    ds = _make_dataset(args.grid, args.factor, args.years,
+                       args.samples_per_year, args.seed)
+    model = Reslim(config, in_channels=23, out_channels=3, factor=args.factor,
+                   max_tokens=4096, rng=np.random.default_rng(args.seed))
+    print(f"training {model.num_parameters():,}-parameter Reslim on "
+          f"{len(ds)} samples ({args.epochs} epochs)")
+    trainer = Trainer(model, ds, TrainConfig(epochs=args.epochs, batch_size=4,
+                                             lr=args.lr, bf16=args.bf16,
+                                             seed=args.seed))
+    history = trainer.fit()
+    print(f"loss: {history.train_loss[0]:.4f} -> {history.train_loss[-1]:.4f}")
+    save_checkpoint(model, args.output,
+                    extra={"epochs": args.epochs,
+                           "config": {"embed_dim": args.embed_dim,
+                                      "depth": args.depth, "heads": args.heads,
+                                      "factor": args.factor}})
+    print(f"checkpoint written to {args.output}")
+    return 0
+
+
+def _cmd_evaluate(args) -> int:
+    from repro.core import ModelConfig, Reslim
+    from repro.train import evaluate_downscaling, load_checkpoint, predict_dataset
+
+    config = ModelConfig("cli", embed_dim=args.embed_dim, depth=args.depth,
+                         num_heads=args.heads)
+    model = Reslim(config, in_channels=23, out_channels=3, factor=args.factor,
+                   max_tokens=4096, rng=np.random.default_rng(args.seed))
+    load_checkpoint(model, args.checkpoint)
+    # held-out years: disjoint from the default training range
+    ds = _make_dataset(args.grid, args.factor, 1, 4, args.seed)
+    ds.world.seed = args.seed
+    ds.fit_normalizer()
+    preds, targets = predict_dataset(model, ds)
+    rows = evaluate_downscaling(preds, targets,
+                                ["t2m", "tmin", "total_precipitation"])
+    print(f"{'variable':24s} {'R2':>8s} {'RMSE':>8s} {'SSIM':>8s} {'PSNR':>8s}")
+    for name, row in rows.items():
+        print(f"{name:24s} {row['r2']:8.3f} {row['rmse']:8.3f} "
+              f"{row['ssim']:8.3f} {row['psnr']:8.2f}")
+    return 0
+
+
+def _cmd_scale(args) -> int:
+    from repro.core import PAPER_CONFIGS
+    from repro.distributed import (
+        DownscalingWorkload,
+        max_output_tokens,
+        strong_scaling_efficiency,
+        sustained_flops,
+    )
+
+    cfg = PAPER_CONFIGS[args.model]
+    w = DownscalingWorkload(cfg, (180, 360), factor=4, out_channels=3,
+                            tiles=args.tiles)
+    eff = strong_scaling_efficiency(w, args.gpus)
+    print(f"model {args.model} ({cfg.embed_dim}-dim x {cfg.depth} layers), "
+          f"{args.tiles} tiles, 112->28 km task")
+    print(f"{'GPUs':>8s} {'efficiency':>11s}")
+    for n in args.gpus:
+        print(f"{n:8d} {eff[n] * 100:10.1f}%")
+    rate = sustained_flops(w, max(args.gpus))
+    unit = f"{rate / 1e18:.2f} ExaFLOPS" if rate > 1e17 else f"{rate / 1e15:.0f} PetaFLOPS"
+    print(f"sustained at {max(args.gpus)} GPUs: {unit} (modelled)")
+    best = max_output_tokens(cfg, max(args.gpus), tiles=args.tiles, compression=4.0)
+    print(f"max sequence at {max(args.gpus)} GPUs (4x compression): "
+          f"{best.output_tokens:.3g} tokens")
+    return 0
+
+
+def _cmd_export(args) -> int:
+    from repro.data.io import export_dataset
+
+    ds = _make_dataset(args.grid, args.factor, args.years,
+                       args.samples_per_year, args.seed)
+    path = export_dataset(ds, args.output)
+    print(f"exported {len(ds)} samples to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
+                "scale": _cmd_scale, "export": _cmd_export}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,102 @@
+"""Sparse-attention baselines (the MaxViT-style foil of Sec. II).
+
+"Other sparse attention architectures, such as MaxViT, attempt to
+mitigate computational cost by sampling self-attention computations.
+While this reduces complexity, it comes at the expense of accuracy
+degradation when the sampling ratio is too high, and it does not address
+the fundamental quadratic complexity long-sequence problem."
+
+Two representatives are implemented on the token-grid layout:
+
+* **Axial attention** — full attention along rows, then along columns:
+  O(N·(H+W)) cost, global reach in two hops, but no direct diagonal
+  interactions.
+* **Strided (grid) attention** — MaxViT's grid branch: each token attends
+  to the tokens at its position modulo a stride; sparsity grows with the
+  stride and so does the information loss.
+
+Both are exact attention over a *subset* of pairs, so their cost and
+their blind spots can be measured precisely (tests +
+``sparse_attention_cost``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.attention import MultiHeadSelfAttention
+from ..nn.module import Module
+from ..tensor import Tensor
+
+__all__ = ["AxialAttention", "GridAttention", "sparse_attention_cost"]
+
+
+class AxialAttention(Module):
+    """Row-wise then column-wise attention over a (B, gh, gw, D) grid."""
+
+    def __init__(self, dim: int, num_heads: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.row_attn = MultiHeadSelfAttention(dim, num_heads, use_flash=False, rng=rng)
+        self.col_attn = MultiHeadSelfAttention(dim, num_heads, use_flash=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, gh, gw, d = x.shape
+        # rows: each of the B*gh rows is a length-gw sequence
+        rows = x.reshape(b * gh, gw, d)
+        rows = self.row_attn(rows).reshape(b, gh, gw, d)
+        # columns: transpose so each of the B*gw columns is a sequence
+        cols = rows.permute(0, 2, 1, 3).reshape(b * gw, gh, d)
+        cols = self.col_attn(cols).reshape(b, gw, gh, d)
+        return cols.permute(0, 2, 1, 3)
+
+
+class GridAttention(Module):
+    """MaxViT-style strided grid attention.
+
+    Tokens at the same position modulo ``stride`` form one attention
+    group: a sparse, dilated global pattern.  ``stride == 1`` degenerates
+    to full attention; larger strides sample ever fewer pairs.
+    """
+
+    def __init__(self, dim: int, num_heads: int, stride: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        self.attn = MultiHeadSelfAttention(dim, num_heads, use_flash=False,
+                                           rng=rng or np.random.default_rng(0))
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, gh, gw, d = x.shape
+        s = self.stride
+        if gh % s or gw % s:
+            raise ValueError(f"grid {(gh, gw)} not divisible by stride {s}")
+        # (B, gh/s, s, gw/s, s, D) → groups indexed by (row%s, col%s)
+        g = x.reshape(b, gh // s, s, gw // s, s, d)
+        g = g.permute(0, 2, 4, 1, 3, 5)                    # (B, s, s, gh/s, gw/s, D)
+        g = g.reshape(b * s * s, (gh // s) * (gw // s), d)
+        g = self.attn(g)
+        g = g.reshape(b, s, s, gh // s, gw // s, d)
+        g = g.permute(0, 3, 1, 4, 2, 5)
+        return g.reshape(b, gh, gw, d)
+
+
+def sparse_attention_cost(gh: int, gw: int, kind: str, stride: int = 1) -> float:
+    """Pairwise-interaction count of each pattern (full = (gh·gw)²).
+
+    The quantitative form of Sec. II's complaint: axial is O(N^1.5)-ish
+    and grid attention divides the quadratic term by s² — neither is
+    linear in N, and both discard pairs to get there.
+    """
+    n = gh * gw
+    if kind == "full":
+        return float(n) ** 2
+    if kind == "axial":
+        return float(n) * (gh + gw)
+    if kind == "grid":
+        groups = stride * stride
+        per_group = (n / groups) ** 2
+        return groups * per_group
+    raise ValueError(f"unknown kind {kind!r}")

@@ -1,0 +1,241 @@
+"""Swin Transformer baseline (Sec. II, "Architecture solutions").
+
+The paper contrasts Reslim with hierarchical shifted-window transformers:
+Swin computes attention in non-overlapping local windows (linear cost)
+and recovers global context through a hierarchy of patch-merging stages —
+but the hierarchy depth must scale with resolution, the model grows with
+the hierarchy, and reported sequence scaling tops out at 147K tokens.
+
+This module implements the architecture faithfully enough to demonstrate
+those structural properties:
+
+* window attention with cyclic-shifted windows on alternating blocks
+  (the longitude wrap of the cyclic roll is physically correct on global
+  lat/lon grids, so no attention mask is needed there; latitude wrap is
+  the standard small approximation);
+* patch merging (2× spatial downsample, 2× width), doubling parameters
+  per stage;
+* a Swin-based upsample-first downscaler comparable to
+  :class:`~repro.core.vit.UpsampleViT`;
+* the accounting functions behind the paper's criticism —
+  ``swin_stages_required`` (hierarchy ∝ log resolution) and
+  ``swin_param_growth`` (model size ∝ hierarchy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import LayerNorm, Linear, MLP, Module, ModuleList, PatchEmbed, unpatchify
+from ..nn.attention import MultiHeadSelfAttention
+from ..tensor import Tensor, bilinear_upsample, gelu
+from .config import ModelConfig
+
+__all__ = [
+    "WindowAttention",
+    "SwinBlock",
+    "PatchMerging",
+    "SwinDownscaler",
+    "swin_stages_required",
+    "swin_param_growth",
+    "SWIN_PAPER_MAX_TOKENS",
+]
+
+#: the Swin-V2 sequence-scaling limit the paper cites
+SWIN_PAPER_MAX_TOKENS = 147_000
+
+
+def _roll2d(x: Tensor, shift_h: int, shift_w: int) -> Tensor:
+    """Differentiable cyclic roll of a (B, H, W, D) tensor."""
+    if shift_h:
+        s = shift_h % x.shape[1]
+        if s:
+            x = Tensor.concatenate([x[:, -s:], x[:, :-s]], axis=1)
+    if shift_w:
+        s = shift_w % x.shape[2]
+        if s:
+            x = Tensor.concatenate([x[:, :, -s:], x[:, :, :-s]], axis=2)
+    return x
+
+
+class WindowAttention(Module):
+    """MHSA within non-overlapping ``window x window`` token tiles.
+
+    Cost is O(N · w²) instead of O(N²): the linear-attention mechanism
+    Swin trades global context for.
+    """
+
+    def __init__(self, dim: int, num_heads: int, window: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self.attn = MultiHeadSelfAttention(dim, num_heads, use_flash=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        """(B, gh, gw, D) → same shape; attention confined to windows."""
+        b, gh, gw, d = x.shape
+        w = self.window
+        if gh % w or gw % w:
+            raise ValueError(f"token grid {(gh, gw)} not divisible by window {w}")
+        nh, nw = gh // w, gw // w
+        tiles = x.reshape(b, nh, w, nw, w, d).permute(0, 1, 3, 2, 4, 5)
+        tiles = tiles.reshape(b * nh * nw, w * w, d)
+        tiles = self.attn(tiles)
+        tiles = tiles.reshape(b, nh, nw, w, w, d).permute(0, 1, 3, 2, 4, 5)
+        return tiles.reshape(b, gh, gw, d)
+
+
+class SwinBlock(Module):
+    """Pre-norm window-attention block, optionally with shifted windows.
+
+    Alternating blocks shift the window grid by half a window (cyclic
+    roll), letting information cross window borders — Swin's substitute
+    for global attention.
+    """
+
+    def __init__(self, dim: int, num_heads: int, window: int, shifted: bool,
+                 mlp_ratio: float = 4.0, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.shifted = shifted
+        self.shift = window // 2 if shifted else 0
+        self.norm1 = LayerNorm(dim)
+        self.attn = WindowAttention(dim, num_heads, window, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLP(dim, int(dim * mlp_ratio), rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        h = x
+        y = self.norm1(x)
+        if self.shift:
+            y = _roll2d(y, -self.shift, -self.shift)
+        y = self.attn(y)
+        if self.shift:
+            y = _roll2d(y, self.shift, self.shift)
+        x = h + y
+        return x + self.mlp(self.norm2(x))
+
+
+class PatchMerging(Module):
+    """2x spatial downsample: concatenate 2x2 neighbours, project 4d → 2d.
+
+    Each merging stage doubles the channel width — the mechanism by which
+    "Swin Transformer's model size grows with the architecture hierarchy"
+    (Sec. II).
+    """
+
+    def __init__(self, dim: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.norm = LayerNorm(4 * dim)
+        self.reduce = Linear(4 * dim, 2 * dim, bias=False, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, gh, gw, d = x.shape
+        if gh % 2 or gw % 2:
+            raise ValueError(f"grid {(gh, gw)} not divisible by 2 for merging")
+        x = x.reshape(b, gh // 2, 2, gw // 2, 2, d)
+        x = x.permute(0, 1, 3, 2, 4, 5).reshape(b, gh // 2, gw // 2, 4 * d)
+        return self.reduce(self.norm(x))
+
+
+class SwinDownscaler(Module):
+    """Upsample-first downscaler with a Swin hierarchy (the Sec. II foil).
+
+    Structure: bilinear upsample → patch embed → ``n_stages`` of
+    [SwinBlock, shifted SwinBlock, PatchMerging] → decoder head from the
+    coarsened deep grid back to pixels.  The hierarchy depth needed for
+    global context grows with resolution (see
+    :func:`swin_stages_required`), unlike Reslim's flat design.
+    """
+
+    def __init__(self, config: ModelConfig, in_channels: int, out_channels: int,
+                 factor: int, window: int = 4, n_stages: int = 2,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        if n_stages < 1:
+            raise ValueError("need at least one stage")
+        self.config = config
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.factor = factor
+        self.window = window
+        self.n_stages = n_stages
+        d = config.embed_dim
+        self.patch_embed = PatchEmbed(in_channels, d, config.patch_size, rng=rng)
+        self.stages = ModuleList()
+        self.mergers = ModuleList()
+        dim = d
+        for s in range(n_stages):
+            self.stages.append(SwinBlock(dim, config.num_heads, window, False, rng=rng))
+            self.stages.append(SwinBlock(dim, config.num_heads, window, True, rng=rng))
+            if s < n_stages - 1:
+                self.mergers.append(PatchMerging(dim, rng=rng))
+                dim *= 2
+        self.final_dim = dim
+        self.norm = LayerNorm(dim)
+        # decoder: deep grid is coarsened by 2^(n_stages-1); project each
+        # deep token to the pixels it covers
+        self.deep_stride = 2 ** (n_stages - 1)
+        pix = config.patch_size * self.deep_stride
+        self.head = Linear(dim, out_channels * pix * pix, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, c, h, w = x.shape
+        if c != self.in_channels:
+            raise ValueError(f"expected {self.in_channels} channels, got {c}")
+        out_h, out_w = h * self.factor, w * self.factor
+        up = bilinear_upsample(x, out_h, out_w)
+        tokens = self.patch_embed(up)                    # (B, L, D)
+        gh, gw = self.patch_embed.grid_shape(out_h, out_w)
+        grid = tokens.reshape(b, gh, gw, self.config.embed_dim)
+        stage_blocks = list(self.stages)
+        mergers = list(self.mergers)
+        for s in range(self.n_stages):
+            grid = stage_blocks[2 * s](grid)
+            grid = stage_blocks[2 * s + 1](grid)
+            if s < self.n_stages - 1:
+                grid = mergers[s](grid)
+        grid = self.norm(grid)
+        bh, bw = grid.shape[1], grid.shape[2]
+        deep_tokens = grid.reshape(b, bh * bw, self.final_dim)
+        out_tokens = self.head(deep_tokens)
+        pix = self.config.patch_size * self.deep_stride
+        return unpatchify(out_tokens, bh, bw, self.out_channels, pix)
+
+
+def swin_stages_required(grid_tokens: int, window: int) -> int:
+    """Merging stages needed until one window spans the whole grid.
+
+    Global context requires the deepest stage's window to cover the full
+    (coarsened) token grid; each merge halves the grid edge, so the
+    hierarchy depth grows logarithmically with resolution — and cannot be
+    fixed for a foundation model serving many resolutions (Sec. II).
+    """
+    if grid_tokens < 1 or window < 1:
+        raise ValueError("positive sizes required")
+    edge = int(np.sqrt(grid_tokens))
+    stages = 1
+    while edge > window:
+        edge = (edge + 1) // 2
+        stages += 1
+    return stages
+
+
+def swin_param_growth(base_dim: int, n_stages: int, mlp_ratio: float = 4.0) -> int:
+    """Approximate encoder parameters of an ``n_stages`` hierarchy.
+
+    Width doubles per stage, so per-stage cost quadruples: the total is
+    dominated by the last stage — model size is tied to hierarchy depth,
+    hence to resolution.
+    """
+    total = 0
+    dim = base_dim
+    for s in range(n_stages):
+        per_block = (4 + 2 * mlp_ratio) * dim * dim
+        total += int(2 * per_block)  # two blocks per stage
+        if s < n_stages - 1:
+            total += 4 * dim * 2 * dim  # merging projection
+            dim *= 2
+    return total

@@ -1,0 +1,59 @@
+"""Synthetic climate data substrate (ERA5/PRISM/DAYMET/IMERG stand-ins)."""
+
+from .datasets import Batch, DatasetSpec, DownscalingDataset, year_split
+from .io import ExportedDataset, export_dataset, load_exported
+from .grids import EARTH_CIRCUMFERENCE_KM, Grid, coarsen, latitude_weights, refine_shape
+from .normalize import ChannelNormalizer, expm1_precip, log1p_precip, quantile_bias_correct
+from .regional import (
+    CONUS_BOUNDS,
+    OBS_VARIABLES,
+    ObservationWorld,
+    imerg_like_observation,
+    us_grid,
+)
+from .synthetic import LAPSE_RATE_K_PER_M, ClimateWorld, gaussian_random_field
+from .variables import (
+    ATMOSPHERIC_VARIABLES,
+    INPUT_VARIABLES,
+    OUTPUT_VARIABLES_FULL,
+    SCIENCE_TARGETS,
+    STATIC_VARIABLES,
+    SURFACE_VARIABLES,
+    Variable,
+    variable_index,
+)
+
+__all__ = [
+    "Grid",
+    "coarsen",
+    "latitude_weights",
+    "refine_shape",
+    "EARTH_CIRCUMFERENCE_KM",
+    "ClimateWorld",
+    "gaussian_random_field",
+    "LAPSE_RATE_K_PER_M",
+    "ChannelNormalizer",
+    "log1p_precip",
+    "expm1_precip",
+    "quantile_bias_correct",
+    "DatasetSpec",
+    "DownscalingDataset",
+    "Batch",
+    "year_split",
+    "export_dataset",
+    "load_exported",
+    "ExportedDataset",
+    "ObservationWorld",
+    "imerg_like_observation",
+    "us_grid",
+    "CONUS_BOUNDS",
+    "OBS_VARIABLES",
+    "Variable",
+    "variable_index",
+    "INPUT_VARIABLES",
+    "OUTPUT_VARIABLES_FULL",
+    "SCIENCE_TARGETS",
+    "STATIC_VARIABLES",
+    "ATMOSPHERIC_VARIABLES",
+    "SURFACE_VARIABLES",
+]

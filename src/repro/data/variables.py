@@ -1,0 +1,105 @@
+"""The variable catalog mirroring the paper's ERA5 configuration.
+
+Table I / Sec. IV: 23 input variables — 5 static fields, 12 atmospheric
+(specific humidity, wind speed u/v... here humidity, wind, temperature at
+200/500/850 hPa = 3 quantities x 3 levels + extra wind component to reach
+12), and 6 surface variables.  Outputs exclude statics (18 variables for
+sequence-scaling experiments) or are the 3 science targets (t2m, tmin,
+precip) for accuracy experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Variable",
+    "STATIC_VARIABLES",
+    "ATMOSPHERIC_VARIABLES",
+    "SURFACE_VARIABLES",
+    "INPUT_VARIABLES",
+    "OUTPUT_VARIABLES_FULL",
+    "SCIENCE_TARGETS",
+    "variable_index",
+]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """One physical field.
+
+    Attributes
+    ----------
+    name: canonical short name (ERA5-style).
+    kind: 'static' | 'atmospheric' | 'surface'.
+    spectral_slope: power-law exponent of the synthetic spatial spectrum
+        (larger → smoother field).
+    positive: whether the field is non-negative (precipitation, humidity).
+    base, scale: affine parameters giving physically plausible magnitudes.
+    """
+
+    name: str
+    kind: str
+    spectral_slope: float
+    positive: bool = False
+    base: float = 0.0
+    scale: float = 1.0
+
+
+STATIC_VARIABLES = (
+    Variable("orography", "static", 2.2, positive=True, base=0.0, scale=1500.0),
+    Variable("land_sea_mask", "static", 3.0, positive=True, base=0.0, scale=1.0),
+    Variable("soil_type", "static", 2.5, positive=True, base=0.0, scale=3.0),
+    Variable("lake_cover", "static", 2.8, positive=True, base=0.0, scale=0.3),
+    Variable("albedo", "static", 2.6, positive=True, base=0.2, scale=0.15),
+)
+
+_LEVELS = (200, 500, 850)
+
+
+def _atmos(name: str, slope: float, base: float, scale: float) -> tuple[Variable, ...]:
+    return tuple(
+        Variable(f"{name}_{lev}", "atmospheric", slope, base=base, scale=scale)
+        for lev in _LEVELS
+    )
+
+
+ATMOSPHERIC_VARIABLES = (
+    _atmos("temperature", 3.0, 250.0, 20.0)
+    + _atmos("specific_humidity", 2.2, 0.004, 0.003)
+    + _atmos("u_wind", 2.5, 0.0, 12.0)
+    + _atmos("v_wind", 2.5, 0.0, 10.0)
+)
+
+SURFACE_VARIABLES = (
+    Variable("t2m", "surface", 2.8, base=287.0, scale=15.0),
+    Variable("tmin", "surface", 2.8, base=282.0, scale=15.0),
+    Variable("total_precipitation", "surface", 1.8, positive=True, base=0.0, scale=4.0),
+    Variable("surface_pressure", "surface", 3.2, base=1.0e5, scale=3.0e3),
+    Variable("u10", "surface", 2.4, base=0.0, scale=6.0),
+    Variable("v10", "surface", 2.4, base=0.0, scale=6.0),
+)
+
+#: the 23 model inputs (5 static + 12 atmospheric + 6 surface), Table I order
+INPUT_VARIABLES = STATIC_VARIABLES + ATMOSPHERIC_VARIABLES + SURFACE_VARIABLES
+
+#: the 18 dynamic outputs used in the sequence-length experiments (Table III)
+OUTPUT_VARIABLES_FULL = ATMOSPHERIC_VARIABLES + SURFACE_VARIABLES
+
+#: the 3 science targets reported in the accuracy tables (Table IV)
+SCIENCE_TARGETS = (
+    SURFACE_VARIABLES[0],  # t2m
+    SURFACE_VARIABLES[1],  # tmin
+    SURFACE_VARIABLES[2],  # total_precipitation
+)
+
+assert len(INPUT_VARIABLES) == 23, "paper specifies 23 input variables"
+assert len(OUTPUT_VARIABLES_FULL) == 18, "paper specifies 18 dynamic output variables"
+
+
+def variable_index(name: str, variables=INPUT_VARIABLES) -> int:
+    """Channel index of a variable by name; raises KeyError if absent."""
+    for i, v in enumerate(variables):
+        if v.name == name:
+            return i
+    raise KeyError(f"unknown variable {name!r}")

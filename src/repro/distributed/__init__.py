@@ -1,0 +1,80 @@
+"""Simulated multi-GPU cluster: collectives, the four parallelisms, the
+Frontier topology model, and the analytic performance model."""
+
+from .comm import CommStats, ProcessGroup, VirtualCluster
+from .ddp import DistributedDataParallel, flatten_grads, scatter_batch, unflatten_to_grads
+from .fsdp import FSDPEngine, shard_array, unshard_arrays
+from .hybrid_op import HybridOpChain, hybrid_chain_volume, naive_sharded_chain_volume
+from .orthogonal import ParallelLayout
+from .pipeline import (
+    PipelineParallel,
+    gpipe_timeline,
+    pipeline_activation_traffic,
+    pipeline_bubble_fraction,
+    pipeline_vs_fsdp_tradeoff,
+)
+from .ulysses import UlyssesAttention, merge_sequence, split_sequence
+from .perf_model import (
+    DownscalingWorkload,
+    max_output_tokens,
+    memory_per_gpu_bytes,
+    strong_scaling_efficiency,
+    sustained_flops,
+    time_per_sample,
+    transformer_flops,
+    workload_flops_per_sample,
+)
+from .sequence_parallel import TilesSequenceParallel, tiles_comm_volume, ulysses_comm_volume
+from .tensor_parallel import (
+    ColumnParallelLinear,
+    RowParallelLinear,
+    TensorParallelMLP,
+    split_columns,
+    split_rows,
+)
+from .topology import FRONTIER, FrontierTopology, GPUSpec, LinkLevel
+
+__all__ = [
+    "ProcessGroup",
+    "PipelineParallel",
+    "pipeline_bubble_fraction",
+    "gpipe_timeline",
+    "pipeline_activation_traffic",
+    "pipeline_vs_fsdp_tradeoff",
+    "UlyssesAttention",
+    "split_sequence",
+    "merge_sequence",
+    "VirtualCluster",
+    "CommStats",
+    "FrontierTopology",
+    "FRONTIER",
+    "GPUSpec",
+    "LinkLevel",
+    "DistributedDataParallel",
+    "scatter_batch",
+    "flatten_grads",
+    "unflatten_to_grads",
+    "FSDPEngine",
+    "shard_array",
+    "unshard_arrays",
+    "ColumnParallelLinear",
+    "RowParallelLinear",
+    "TensorParallelMLP",
+    "split_columns",
+    "split_rows",
+    "HybridOpChain",
+    "hybrid_chain_volume",
+    "naive_sharded_chain_volume",
+    "TilesSequenceParallel",
+    "tiles_comm_volume",
+    "ulysses_comm_volume",
+    "ParallelLayout",
+    "DownscalingWorkload",
+    "transformer_flops",
+    "workload_flops_per_sample",
+    "memory_per_gpu_bytes",
+    "max_output_tokens",
+    "time_per_sample",
+    "sustained_flops",
+    "strong_scaling_efficiency",
+]

@@ -1,0 +1,133 @@
+"""Orthogonal parallelism layout (Sec. III-C, Fig. 5).
+
+Maps the four parallelisms onto the machine hierarchy:
+
+* **Tensor parallel** — within a node (fast in-node Infinity Fabric);
+* **FSDP** — across the corresponding GPUs of neighbouring nodes inside
+  one TILES group (moderate traffic on neighbour links);
+* **TILES sequence parallel** — two adjacent nodes form one group
+  (gradient all-reduce once per batch, tolerant of slow links);
+* **DDP** — across TILES groups (same low frequency).
+
+The layout object constructs the actual rank sets and validates the
+partition algebra: ``tp × fsdp = tiles_group`` and
+``tiles_group × ddp = world``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .comm import ProcessGroup, VirtualCluster
+from .topology import FrontierTopology
+
+__all__ = ["ParallelLayout"]
+
+
+@dataclass
+class ParallelLayout:
+    """The four-level group decomposition of a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The virtual machine (world size must be a multiple of
+        ``tiles_group_size``).
+    tp_size:
+        Tensor-parallel width; defaults to one full node (8).
+    tiles_group_size:
+        Ranks per TILES sequence-parallel group; defaults to two nodes
+        (16), the paper's configuration.
+    """
+
+    cluster: VirtualCluster
+    tp_size: int = 8
+    tiles_group_size: int = 16
+
+    def __post_init__(self):
+        world = self.cluster.world_size
+        if self.tiles_group_size % self.tp_size:
+            raise ValueError(
+                f"tiles group {self.tiles_group_size} not divisible by tp {self.tp_size}"
+            )
+        if world % self.tiles_group_size:
+            raise ValueError(
+                f"world {world} not divisible by tiles group {self.tiles_group_size}"
+            )
+        self.fsdp_size = self.tiles_group_size // self.tp_size
+        self.ddp_size = world // self.tiles_group_size
+        topo = self.cluster.topology
+        if self.tp_size > topo.gpus_per_node:
+            raise ValueError("tensor parallelism must fit within a node")
+
+    # ------------------------------------------------------------------ #
+    # group constructors
+    # ------------------------------------------------------------------ #
+    def tiles_groups(self) -> list[ProcessGroup]:
+        """Contiguous blocks of ``tiles_group_size`` ranks (adjacent nodes)."""
+        return self.cluster.contiguous_groups(self.tiles_group_size)
+
+    def tp_groups(self) -> list[ProcessGroup]:
+        """Contiguous blocks of ``tp_size`` ranks — whole nodes."""
+        return self.cluster.contiguous_groups(self.tp_size)
+
+    def fsdp_groups(self) -> list[ProcessGroup]:
+        """Corresponding GPUs of the nodes within each TILES group.
+
+        Rank r pairs with r + tp_size (same GPU index, neighbouring node)
+        — moderate-frequency traffic on neighbour-node links.
+        """
+        groups = []
+        for base in range(0, self.cluster.world_size, self.tiles_group_size):
+            for offset in range(self.tp_size):
+                ranks = [base + offset + k * self.tp_size for k in range(self.fsdp_size)]
+                groups.append(self.cluster.group(ranks))
+        return groups
+
+    def ddp_groups(self) -> list[ProcessGroup]:
+        """Same-position ranks across TILES groups."""
+        groups = []
+        for offset in range(self.tiles_group_size):
+            ranks = list(range(offset, self.cluster.world_size, self.tiles_group_size))
+            groups.append(self.cluster.group(ranks))
+        return groups
+
+    # ------------------------------------------------------------------ #
+    # invariants
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the partition algebra; raises AssertionError on violation."""
+        world = self.cluster.world_size
+        assert self.tp_size * self.fsdp_size == self.tiles_group_size
+        assert self.tiles_group_size * self.ddp_size == world
+        for maker in (self.tiles_groups, self.tp_groups, self.fsdp_groups, self.ddp_groups):
+            seen: set[int] = set()
+            for g in maker():
+                overlap = seen & set(g.ranks)
+                assert not overlap, f"{maker.__name__}: rank reuse {overlap}"
+                seen.update(g.ranks)
+            assert seen == set(range(world)), f"{maker.__name__}: incomplete partition"
+
+    def communication_hierarchy(self) -> dict[str, str]:
+        """Which link level each parallelism's traffic lands on (Fig. 5)."""
+        topo: FrontierTopology = self.cluster.topology
+        tp = self.tp_groups()[0]
+        fsdp = self.fsdp_groups()[0]
+
+        def widest(g: ProcessGroup) -> str:
+            if g.size == 1:
+                return "local"
+            levels = {topo.link_level(a, b).name
+                      for a in g.ranks for b in g.ranks if a != b}
+            order = ["SAME_CARD", "SAME_NODE", "CROSS_NODE"]
+            for lvl in reversed(order):
+                if lvl in levels:
+                    return lvl
+            return "local"
+
+        out = {"tensor_parallel": widest(tp), "fsdp": widest(fsdp)}
+        if self.ddp_size > 1:
+            out["ddp"] = widest(self.ddp_groups()[0])
+        if self.tiles_group_size > 1:
+            out["tiles"] = widest(self.tiles_groups()[0])
+        return out

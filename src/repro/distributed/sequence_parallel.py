@@ -1,0 +1,113 @@
+"""TILES sequence parallelism: one tile per rank (Sec. III-B/III-C).
+
+This is the distributed execution of ``repro.core.tiles``: each rank of a
+TILES group owns one spatial tile, runs the full model on its
+halo-extended tile independently (attention confined to the tile), and
+the per-rank gradients are averaged with a single all-reduce per batch —
+the "minimal communication frequency and overhead" property that lets
+TILES groups sit on the slow inter-node links (Fig. 5).
+
+Contrast with Ulysses-style sequence parallelism, whose all-to-all per
+attention layer is also modelled here (``ulysses_comm_volume``) for the
+comparison the paper draws in Sec. II.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tiles import extract_tile, make_tiles, stitch_tiles
+from ..nn import Module
+from ..tensor import Tensor
+from .comm import ProcessGroup
+from .ddp import flatten_grads, unflatten_to_grads
+
+__all__ = ["TilesSequenceParallel", "ulysses_comm_volume", "tiles_comm_volume"]
+
+
+class TilesSequenceParallel:
+    """Distribute one sample's tiles across the ranks of a group.
+
+    Parameters
+    ----------
+    replicas:
+        One model replica per rank (synchronized at construction).
+    group:
+        The TILES sequence-parallel process group.
+    halo:
+        Halo width in coarse pixels.
+    factor:
+        Downscaling refinement factor.
+    """
+
+    def __init__(self, replicas: list[Module], group: ProcessGroup, halo: int, factor: int):
+        if len(replicas) != group.size:
+            raise ValueError(f"{len(replicas)} replicas for group of {group.size}")
+        self.replicas = replicas
+        self.group = group
+        self.halo = halo
+        self.factor = factor
+        state = replicas[0].state_dict()
+        for rep in replicas[1:]:
+            rep.load_state_dict(state)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Tile-parallel inference: scatter tiles, compute, stitch."""
+        b, c, h, w = x.shape
+        specs = make_tiles(h, w, self.group.size, self.halo)
+        xt = Tensor(x)
+        outs = [rep(extract_tile(xt, spec)) for rep, spec in zip(self.replicas, specs)]
+        return stitch_tiles(outs, specs, self.factor).data
+
+    def step_gradients(self, x: np.ndarray, target: np.ndarray, loss_fn) -> float:
+        """One training step: per-tile forward/backward + grad all-reduce.
+
+        ``loss_fn(pred, target) -> Tensor`` is applied per tile on the
+        tile's core target region (halo outputs are cropped before the
+        loss, as the halo regions are discarded in the real system).
+        Returns the mean tile loss; averaged gradients are left in every
+        replica — the once-per-batch communication of Sec. III-B.
+        """
+        b, c, h, w = x.shape
+        specs = make_tiles(h, w, self.group.size, self.halo)
+        xt = Tensor(x)
+        losses = []
+        for rep, spec in zip(self.replicas, specs):
+            rep.zero_grad()
+            out = rep(extract_tile(xt, spec))
+            f = self.factor
+            top, left = (spec.y0 - spec.hy0) * f, (spec.x0 - spec.hx0) * f
+            ch, cw = spec.core_shape
+            core = out[:, :, top : top + ch * f, left : left + cw * f]
+            tile_target = Tensor(
+                target[:, :, spec.y0 * f : spec.y1 * f, spec.x0 * f : spec.x1 * f]
+            )
+            loss = loss_fn(core, tile_target)
+            loss.backward()
+            losses.append(float(loss.data))
+        buckets = [flatten_grads(rep) for rep in self.replicas]
+        reduced = self.group.all_reduce(buckets, op="mean")
+        for rep, flat in zip(self.replicas, reduced):
+            unflatten_to_grads(rep, flat)
+        return float(np.mean(losses))
+
+
+def tiles_comm_volume(param_bytes: int, world: int, steps: int = 1) -> float:
+    """Bytes/rank for TILES: ONE gradient all-reduce per batch."""
+    return steps * 2 * (world - 1) / world * param_bytes
+
+
+def ulysses_comm_volume(seq_len: int, embed_dim: int, n_layers: int, world: int,
+                        steps: int = 1, bytes_per_elem: int = 4) -> float:
+    """Bytes/rank for Ulysses-style sequence parallelism.
+
+    Each attention layer needs 4 all-to-alls (scatter Q/K/V heads, gather
+    outputs) of the full (seq, dim) activation: volume
+    4 · n_layers · (P-1)/P · seq·dim·bytes per forward, and roughly the
+    same again in backward — this is the per-layer overhead that caps
+    sequence parallelism at 188K tokens while TILES scales to billions.
+    """
+    # each rank's all-to-all buffer holds its 1/world share of the
+    # (seq, dim) activation; it sends (world-1)/world of that per call
+    per_layer = 4 * (world - 1) / world * seq_len * embed_dim * bytes_per_elem / world
+    return steps * 2 * n_layers * per_layer  # forward + backward

@@ -1,0 +1,39 @@
+"""Evaluation metrics and spectral analysis."""
+
+from .metrics import (
+    SIGMA_LEVELS,
+    evaluate_all,
+    psnr,
+    quantile_rmse,
+    r2_score,
+    rmse,
+    sigma_quantile_levels,
+    ssim,
+)
+from .climate import (
+    annual_cycle_stats,
+    bias_decomposition,
+    contingency_table,
+    event_skill,
+    taylor_statistics,
+)
+from .spectrum import radial_power_spectrum, spectral_fidelity, spectral_slope
+
+__all__ = [
+    "r2_score",
+    "rmse",
+    "quantile_rmse",
+    "sigma_quantile_levels",
+    "SIGMA_LEVELS",
+    "psnr",
+    "ssim",
+    "evaluate_all",
+    "radial_power_spectrum",
+    "spectral_fidelity",
+    "spectral_slope",
+    "contingency_table",
+    "event_skill",
+    "taylor_statistics",
+    "bias_decomposition",
+    "annual_cycle_stats",
+]

@@ -1,0 +1,105 @@
+"""Multi-head self- and cross-attention layers.
+
+Self-attention is the quadratic-cost core of the ViT; cross-attention is
+Reslim's variable aggregator (Fig. 2, purple block) that collapses the
+physical-variable dimension into a single token stream.  Both can route
+through the blocked flash kernel or the naive reference implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from .flash_attention import flash_attention, naive_attention
+from .layers import Linear
+from .module import Module
+
+__all__ = ["MultiHeadSelfAttention", "CrossAttention"]
+
+
+def _split_heads(x: Tensor, num_heads: int) -> Tensor:
+    """(B, L, D) → (B, H, L, D/H)."""
+    b, l, d = x.shape
+    return x.reshape(b, l, num_heads, d // num_heads).permute(0, 2, 1, 3)
+
+
+def _merge_heads(x: Tensor) -> Tensor:
+    """(B, H, L, Dh) → (B, L, H*Dh)."""
+    b, h, l, dh = x.shape
+    return x.permute(0, 2, 1, 3).reshape(b, l, h * dh)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard MHSA with optional flash (cache-blocked) kernel.
+
+    Parameters
+    ----------
+    dim:
+        Embedding width; must be divisible by ``num_heads``.
+    use_flash:
+        Route the score computation through the blocked online-softmax
+        kernel.  Numerically equivalent; linear temporary memory in L.
+    block_size:
+        Flash tile edge in tokens.
+    """
+
+    def __init__(self, dim: int, num_heads: int, use_flash: bool = True,
+                 block_size: int = 128, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.num_heads = num_heads
+        self.use_flash = use_flash
+        self.block_size = block_size
+        self.qkv = Linear(dim, 3 * dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, l, d = x.shape
+        qkv = self.qkv(x)  # (B, L, 3D)
+        q = _split_heads(qkv[:, :, :d], self.num_heads)
+        k = _split_heads(qkv[:, :, d : 2 * d], self.num_heads)
+        v = _split_heads(qkv[:, :, 2 * d :], self.num_heads)
+        if self.use_flash:
+            out = flash_attention(q, k, v, block_size=self.block_size)
+        else:
+            out = naive_attention(q, k, v)
+        return self.proj(_merge_heads(out))
+
+
+class CrossAttention(Module):
+    """Attention of a query stream over a context stream.
+
+    Reslim uses this to aggregate the V per-variable embeddings into one:
+    queries come from a learned (or mean) aggregate token per spatial
+    location, keys/values from the V variable embeddings, so the variable
+    axis (length V ≈ 23) is the attention sequence — cheap, and the output
+    sequence no longer scales with the number of physical variables.
+    """
+
+    def __init__(self, dim: int, num_heads: int, use_flash: bool = False,
+                 block_size: int = 128, rng: np.random.Generator | None = None):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError(f"dim {dim} not divisible by num_heads {num_heads}")
+        rng = rng or np.random.default_rng(0)
+        self.num_heads = num_heads
+        self.use_flash = use_flash
+        self.block_size = block_size
+        self.to_q = Linear(dim, dim, rng=rng)
+        self.to_k = Linear(dim, dim, rng=rng)
+        self.to_v = Linear(dim, dim, rng=rng)
+        self.proj = Linear(dim, dim, rng=rng)
+
+    def forward(self, query: Tensor, context: Tensor) -> Tensor:
+        """``query``: (B, Lq, D); ``context``: (B, Lk, D) → (B, Lq, D)."""
+        q = _split_heads(self.to_q(query), self.num_heads)
+        k = _split_heads(self.to_k(context), self.num_heads)
+        v = _split_heads(self.to_v(context), self.num_heads)
+        if self.use_flash:
+            out = flash_attention(q, k, v, block_size=self.block_size)
+        else:
+            out = naive_attention(q, k, v)
+        return self.proj(_merge_heads(out))

@@ -1,0 +1,60 @@
+"""Weight initializers.
+
+ViT training at billions of parameters is sensitive to initialization
+scale; we follow the standard recipes: truncated-normal for embeddings,
+Xavier-uniform for attention/MLP projections, Kaiming for convolutions,
+and zero-init for residual-branch output projections (which also makes the
+Reslim residual path exactly the identity mapping at step 0).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["xavier_uniform", "kaiming_normal", "trunc_normal", "zeros", "ones"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator, gain: float = 1.0) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(np.float32)
+
+
+def kaiming_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He-normal for ReLU/GELU-family convolutions: N(0, 2/fan_in)."""
+    fan_in, _ = _fans(shape)
+    std = np.sqrt(2.0 / fan_in)
+    return (rng.standard_normal(shape) * std).astype(np.float32)
+
+
+def trunc_normal(
+    shape: tuple[int, ...], rng: np.random.Generator, std: float = 0.02, bound: float = 2.0
+) -> np.ndarray:
+    """Normal(0, std) truncated at ±bound·std via resampling."""
+    out = rng.standard_normal(shape)
+    bad = np.abs(out) > bound
+    while np.any(bad):
+        out[bad] = rng.standard_normal(int(bad.sum()))
+        bad = np.abs(out) > bound
+    return (out * std).astype(np.float32)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    return np.zeros(shape, dtype=np.float32)
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    return np.ones(shape, dtype=np.float32)
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    """(fan_in, fan_out) for dense (out, in) and conv (out, in, kh, kw) shapes."""
+    if len(shape) < 1:
+        raise ValueError("scalar parameters have no fan")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_out = shape[0] * receptive
+    fan_in = shape[1] * receptive
+    return fan_in, fan_out

@@ -1,0 +1,122 @@
+"""Optimizers and learning-rate schedules.
+
+AdamW is the workhorse for ViT training; SGD exists as the simple
+baseline and for tests.  Optimizer state lives in plain float32 NumPy
+arrays keyed by parameter identity, which is also what FSDP shards when
+it distributes optimizer state across ranks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["SGD", "AdamW", "cosine_schedule", "warmup_cosine", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer: holds parameter list and learning rate."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer got an empty parameter list")
+        self.lr = float(lr)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * p.grad
+
+
+class AdamW(Optimizer):
+    """Adam with decoupled weight decay (Loshchilov & Hutter)."""
+
+    def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.01):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self.t += 1
+        bc1 = 1.0 - self.beta1**self.t
+        bc2 = 1.0 - self.beta2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * (g * g)
+            m_hat = m / bc1
+            v_hat = v / bc2
+            if self.weight_decay:
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_nbytes(self) -> int:
+        """Bytes of optimizer state — FSDP's sharding target (2 moments)."""
+        return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
+
+
+def cosine_schedule(step: int, total_steps: int, base_lr: float, min_lr: float = 0.0) -> float:
+    """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    frac = min(max(step / total_steps, 0.0), 1.0)
+    return min_lr + 0.5 * (base_lr - min_lr) * (1 + np.cos(np.pi * frac))
+
+
+def warmup_cosine(step: int, warmup_steps: int, total_steps: int,
+                  base_lr: float, min_lr: float = 0.0) -> float:
+    """Linear warmup followed by cosine decay (the standard ViT schedule)."""
+    if warmup_steps > 0 and step < warmup_steps:
+        return base_lr * (step + 1) / warmup_steps
+    return cosine_schedule(step - warmup_steps, max(total_steps - warmup_steps, 1), base_lr, min_lr)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for logging/instability detection).
+    """
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad.astype(np.float64) ** 2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm

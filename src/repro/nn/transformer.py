@@ -1,0 +1,127 @@
+"""Transformer building blocks: patch embedding and encoder blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor
+from . import init
+from .attention import MultiHeadSelfAttention
+from .layers import LayerNorm, Linear, MLP
+from .module import Module, ModuleList, Parameter
+
+__all__ = ["PatchEmbed", "TransformerBlock", "TransformerEncoder", "unpatchify"]
+
+
+class PatchEmbed(Module):
+    """Tokenize an NCHW field into patch embeddings.
+
+    Splits the grid into non-overlapping ``patch x patch`` squares (the
+    yellow grid of Fig. 3a) and linearly projects each flattened patch to
+    the embedding width.  Output is ``(B, L, D)`` with
+    ``L = (H/p) * (W/p)``.
+    """
+
+    def __init__(self, in_channels: int, embed_dim: int, patch_size: int,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.patch_size = patch_size
+        self.in_channels = in_channels
+        self.embed_dim = embed_dim
+        self.proj = Linear(in_channels * patch_size * patch_size, embed_dim, rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        b, c, h, w = x.shape
+        p = self.patch_size
+        if h % p or w % p:
+            raise ValueError(f"grid {(h, w)} not divisible by patch size {p}")
+        gh, gw = h // p, w // p
+        x = x.reshape(b, c, gh, p, gw, p)
+        x = x.permute(0, 2, 4, 1, 3, 5)  # (B, gh, gw, C, p, p)
+        x = x.reshape(b, gh * gw, c * p * p)
+        return self.proj(x)
+
+    def grid_shape(self, h: int, w: int) -> tuple[int, int]:
+        return h // self.patch_size, w // self.patch_size
+
+
+def unpatchify(tokens: Tensor, grid_h: int, grid_w: int, channels: int, patch: int) -> Tensor:
+    """Inverse of patch tokenization: (B, L, C*p*p) → (B, C, H, W)."""
+    b, l, d = tokens.shape
+    if l != grid_h * grid_w:
+        raise ValueError(f"token count {l} != grid {grid_h}x{grid_w}")
+    if d != channels * patch * patch:
+        raise ValueError(f"token dim {d} != channels*patch^2 {channels * patch * patch}")
+    x = tokens.reshape(b, grid_h, grid_w, channels, patch, patch)
+    x = x.permute(0, 3, 1, 4, 2, 5)
+    return x.reshape(b, channels, grid_h * patch, grid_w * patch)
+
+
+class TransformerBlock(Module):
+    """Pre-norm encoder block: LN → MHSA → residual, LN → MLP → residual."""
+
+    def __init__(self, dim: int, num_heads: int, mlp_ratio: float = 4.0,
+                 use_flash: bool = True, block_size: int = 128,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadSelfAttention(dim, num_heads, use_flash=use_flash,
+                                           block_size=block_size, rng=rng)
+        self.norm2 = LayerNorm(dim)
+        self.mlp = MLP(dim, int(dim * mlp_ratio), rng=rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        x = x + self.mlp(self.norm2(x))
+        return x
+
+
+class TransformerEncoder(Module):
+    """Stack of encoder blocks with learned positional embeddings.
+
+    ``max_len`` bounds the positional table; shorter sequences slice it.
+    The table is interpolated if a longer sequence arrives, letting one
+    model generalize across grid resolutions (a Reslim design goal).
+    """
+
+    def __init__(self, dim: int, depth: int, num_heads: int, max_len: int,
+                 mlp_ratio: float = 4.0, use_flash: bool = True,
+                 block_size: int = 128, checkpoint_blocks: bool = False,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.checkpoint_blocks = checkpoint_blocks
+        self.pos_embed = Parameter(init.trunc_normal((1, max_len, dim), rng))
+        self.blocks = ModuleList(
+            [TransformerBlock(dim, num_heads, mlp_ratio, use_flash, block_size, rng)
+             for _ in range(depth)]
+        )
+        self.norm = LayerNorm(dim)
+
+    def _positional(self, length: int) -> Tensor:
+        max_len = self.pos_embed.shape[1]
+        if length <= max_len:
+            return self.pos_embed[:, :length, :]
+        # linear interpolation of the table onto the longer sequence
+        src = self.pos_embed.data[0]
+        xs = np.linspace(0, max_len - 1, length)
+        lo = np.floor(xs).astype(int)
+        hi = np.minimum(lo + 1, max_len - 1)
+        w = (xs - lo).astype(np.float32)[:, None]
+        interp = src[lo] * (1 - w) + src[hi] * w
+        return Tensor(interp[None])
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self._positional(x.shape[1])
+        if self.checkpoint_blocks and self.training:
+            from .checkpoint import checkpoint
+
+            for blk in self.blocks:
+                x = checkpoint(blk, x)
+        else:
+            for blk in self.blocks:
+                x = blk(x)
+        return self.norm(x)

@@ -1,0 +1,56 @@
+"""NumPy-backed reverse-mode autograd engine (the PyTorch substitute)."""
+
+from .dtypes import (
+    DTYPE_BF16,
+    DTYPE_F32,
+    bf16_machine_eps,
+    bf16_round,
+    cast,
+    is_bf16_representable,
+    validate_dtype,
+)
+from .functional import (
+    avg_pool2d,
+    bilinear_upsample,
+    conv2d,
+    dropout,
+    gelu,
+    im2col,
+    log_softmax,
+    pixel_shuffle,
+    pixel_unshuffle,
+    silu,
+    softmax,
+)
+from .flops import FlopCounter, add_flops
+from .random import DEFAULT_SEED, rng_from_seed, split_rng
+from .tensor import Tensor, is_grad_enabled, no_grad
+
+__all__ = [
+    "Tensor",
+    "FlopCounter",
+    "add_flops",
+    "no_grad",
+    "is_grad_enabled",
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "silu",
+    "bilinear_upsample",
+    "pixel_shuffle",
+    "pixel_unshuffle",
+    "conv2d",
+    "avg_pool2d",
+    "im2col",
+    "dropout",
+    "bf16_round",
+    "bf16_machine_eps",
+    "is_bf16_representable",
+    "cast",
+    "validate_dtype",
+    "DTYPE_F32",
+    "DTYPE_BF16",
+    "rng_from_seed",
+    "split_rng",
+    "DEFAULT_SEED",
+]

@@ -1,0 +1,43 @@
+"""Measured FLOP counting (the DeepSpeed-profiler substitute).
+
+A thread-local accumulator that the heavy kernels (matmul, conv2d,
+attention) report into when a :class:`FlopCounter` context is active.
+Costs one attribute lookup per op when disabled.  Multiply-add counts as
+2 FLOPs, matching the convention the paper's throughput numbers use.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["FlopCounter", "add_flops"]
+
+_state = threading.local()
+
+
+def add_flops(n: float) -> None:
+    """Report ``n`` FLOPs to the active counter, if any."""
+    counter = getattr(_state, "counter", None)
+    if counter is not None:
+        counter.total += n
+
+
+class FlopCounter:
+    """Context manager accumulating FLOPs of all engine ops inside it.
+
+    >>> with FlopCounter() as fc:
+    ...     _ = model(x)
+    >>> fc.total
+    """
+
+    def __init__(self):
+        self.total = 0.0
+
+    def __enter__(self) -> "FlopCounter":
+        self._prev = getattr(_state, "counter", None)
+        _state.counter = self
+        return self
+
+    def __exit__(self, *exc):
+        _state.counter = self._prev
+        return False

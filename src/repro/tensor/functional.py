@@ -1,0 +1,252 @@
+"""Functional ops built on the :class:`~repro.tensor.Tensor` engine.
+
+Contains the numerically careful primitives the models need: stable
+softmax, exact GELU (erf form), bilinear interpolation with a proper
+adjoint, im2col-based 2-D convolution helpers, and pixel shuffle for the
+decoder's sub-pixel upsampling.  Everything is vectorised; the only index
+arithmetic is precomputed gather/scatter tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "gelu",
+    "silu",
+    "bilinear_upsample",
+    "pixel_shuffle",
+    "pixel_unshuffle",
+    "im2col",
+    "col2im_shape",
+    "conv2d",
+    "avg_pool2d",
+    "dropout",
+]
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` with a fused backward.
+
+    The Jacobian-vector product is computed directly
+    (``dx = s * (g - sum(g * s))``) instead of composing exp/sum nodes,
+    halving temporary memory for long attention rows.
+    """
+    a = x
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    s = e / e.sum(axis=axis, keepdims=True)
+    s = s.astype(np.float32)
+
+    def backward(g):
+        dot = (g * s).sum(axis=axis, keepdims=True)
+        return ((a, s * (g - dot)),)
+
+    return Tensor._from_op(s, (a,), backward, "softmax")
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """log(softmax(x)) computed stably with a fused backward."""
+    a = x
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out = (shifted - logsum).astype(np.float32)
+    s = np.exp(out)
+
+    def backward(g):
+        return ((a, g - s * g.sum(axis=axis, keepdims=True)),)
+
+    return Tensor._from_op(out, (a,), backward, "log_softmax")
+
+
+def gelu(x: Tensor) -> Tensor:
+    """Exact GELU: ``x * Phi(x)`` with Phi the standard normal CDF."""
+    inv_sqrt2 = 1.0 / np.sqrt(2.0)
+    return x * ((x * inv_sqrt2).erf() + 1.0) * 0.5
+
+
+def silu(x: Tensor) -> Tensor:
+    """SiLU / swish activation ``x * sigmoid(x)``."""
+    return x * x.sigmoid()
+
+
+# --------------------------------------------------------------------- #
+# interpolation
+# --------------------------------------------------------------------- #
+def _bilinear_tables(in_size: int, out_size: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Index/weight tables for 1-D bilinear resize (align_corners=False)."""
+    scale = in_size / out_size
+    coords = (np.arange(out_size, dtype=np.float64) + 0.5) * scale - 0.5
+    coords = np.clip(coords, 0.0, in_size - 1.0)
+    lo = np.floor(coords).astype(np.int64)
+    hi = np.minimum(lo + 1, in_size - 1)
+    w_hi = (coords - lo).astype(np.float32)
+    return lo, hi, w_hi
+
+
+def bilinear_upsample(x: Tensor, out_h: int, out_w: int) -> Tensor:
+    """Bilinear resize of an NCHW tensor to ``(out_h, out_w)``.
+
+    Implemented as two separable 1-D linear gathers; the adjoint is the
+    exact transpose (scatter-add), so gradient checks pass to float32
+    precision.  This is the residual path's upsampler (Sec. III-A,
+    "Residual Learning") — linear complexity in output size.
+    """
+    a = x
+    n, c, h, w = a.shape
+    ylo, yhi, wy = _bilinear_tables(h, out_h)
+    xlo, xhi, wx = _bilinear_tables(w, out_w)
+
+    def interp(data: np.ndarray) -> np.ndarray:
+        rows = data[..., ylo, :] * (1.0 - wy)[:, None] + data[..., yhi, :] * wy[:, None]
+        return rows[..., :, xlo] * (1.0 - wx) + rows[..., :, xhi] * wx
+
+    out_data = interp(a.data).astype(np.float32)
+
+    def backward(g):
+        # adjoint of the column interp
+        g_rows = np.zeros((n, c, out_h, w), dtype=np.float32)
+        np.add.at(g_rows, (slice(None), slice(None), slice(None), xlo), g * (1.0 - wx))
+        np.add.at(g_rows, (slice(None), slice(None), slice(None), xhi), g * wx)
+        # adjoint of the row interp
+        gx = np.zeros((n, c, h, w), dtype=np.float32)
+        np.add.at(gx, (slice(None), slice(None), ylo, slice(None)), g_rows * (1.0 - wy)[:, None])
+        np.add.at(gx, (slice(None), slice(None), yhi, slice(None)), g_rows * wy[:, None])
+        return ((a, gx),)
+
+    return Tensor._from_op(out_data, (a,), backward, "bilinear")
+
+
+def pixel_shuffle(x: Tensor, factor: int) -> Tensor:
+    """Rearrange ``(N, C*r^2, H, W)`` to ``(N, C, H*r, W*r)`` (sub-pixel conv)."""
+    n, crr, h, w = x.shape
+    r = factor
+    if crr % (r * r) != 0:
+        raise ValueError(f"channels {crr} not divisible by factor^2 {r * r}")
+    c = crr // (r * r)
+    y = x.reshape(n, c, r, r, h, w)
+    y = y.permute(0, 1, 4, 2, 5, 3)
+    return y.reshape(n, c, h * r, w * r)
+
+
+def pixel_unshuffle(x: Tensor, factor: int) -> Tensor:
+    """Inverse of :func:`pixel_shuffle`."""
+    n, c, hr, wr = x.shape
+    r = factor
+    if hr % r or wr % r:
+        raise ValueError(f"spatial dims {(hr, wr)} not divisible by factor {r}")
+    h, w = hr // r, wr // r
+    y = x.reshape(n, c, h, r, w, r)
+    y = y.permute(0, 1, 3, 5, 2, 4)
+    return y.reshape(n, c * r * r, h, w)
+
+
+# --------------------------------------------------------------------- #
+# convolution via im2col
+# --------------------------------------------------------------------- #
+def _conv_out_size(size: int, k: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - k) // stride + 1
+
+
+def im2col(data: np.ndarray, k: int, stride: int, pad: int) -> np.ndarray:
+    """Extract sliding ``k x k`` patches from an NCHW array.
+
+    Returns shape ``(N, C*k*k, out_h*out_w)`` using a strided view plus a
+    single copy (no Python loops over pixels).
+    """
+    n, c, h, w = data.shape
+    if pad:
+        data = np.pad(data, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    out_h = _conv_out_size(h, k, stride, pad)
+    out_w = _conv_out_size(w, k, stride, pad)
+    s0, s1, s2, s3 = data.strides
+    windows = np.lib.stride_tricks.as_strided(
+        data,
+        shape=(n, c, out_h, out_w, k, k),
+        strides=(s0, s1, s2 * stride, s3 * stride, s2, s3),
+        writeable=False,
+    )
+    cols = windows.transpose(0, 1, 4, 5, 2, 3).reshape(n, c * k * k, out_h * out_w)
+    return np.ascontiguousarray(cols)
+
+
+def col2im_shape(
+    cols: np.ndarray, in_shape: tuple[int, ...], k: int, stride: int, pad: int
+) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to NCHW."""
+    n, c, h, w = in_shape
+    out_h = _conv_out_size(h, k, stride, pad)
+    out_w = _conv_out_size(w, k, stride, pad)
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=np.float32)
+    cols6 = cols.reshape(n, c, k, k, out_h, out_w)
+    for ky in range(k):  # k is tiny (<=7); inner work stays vectorised
+        for kx in range(k):
+            padded[
+                :, :, ky : ky + stride * out_h : stride, kx : kx + stride * out_w : stride
+            ] += cols6[:, :, ky, kx]
+    if pad:
+        return padded[:, :, pad:-pad, pad:-pad]
+    return padded
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad: int = 0) -> Tensor:
+    """2-D convolution (cross-correlation) on NCHW input.
+
+    ``weight`` has shape ``(out_c, in_c, k, k)``.  Forward and backward run
+    through im2col so the heavy lifting is one big GEMM per pass, matching
+    the guide's "turn loops into matmul" idiom.
+    """
+    a, wgt = x, weight
+    n, in_c, h, w = a.shape
+    out_c, in_c2, k, k2 = wgt.shape
+    if in_c != in_c2 or k != k2:
+        raise ValueError(f"weight shape {wgt.shape} incompatible with input {a.shape}")
+    out_h = _conv_out_size(h, k, stride, pad)
+    out_w = _conv_out_size(w, k, stride, pad)
+
+    from .flops import add_flops
+
+    cols = im2col(a.data, k, stride, pad)  # (N, C*k*k, L)
+    w2 = wgt.data.reshape(out_c, in_c * k * k)
+    conv_macs = float(n) * out_c * out_h * out_w * in_c * k * k
+    add_flops(2.0 * conv_macs)
+    out = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+    out = out.reshape(n, out_c, out_h, out_w).astype(np.float32)
+    if bias is not None:
+        out = out + bias.data.reshape(1, out_c, 1, 1)
+
+    parents = (a, wgt) if bias is None else (a, wgt, bias)
+
+    def backward(g):
+        add_flops(4.0 * conv_macs)
+        g2 = g.reshape(n, out_c, out_h * out_w)
+        gw = np.einsum("nol,nkl->ok", g2, cols, optimize=True).reshape(wgt.shape)
+        gcols = np.einsum("ok,nol->nkl", w2, g2, optimize=True)
+        gx = col2im_shape(gcols, a.shape, k, stride, pad)
+        grads = [(a, gx), (wgt, gw.astype(np.float32))]
+        if bias is not None:
+            grads.append((bias, g.sum(axis=(0, 2, 3))))
+        return tuple(grads)
+
+    return Tensor._from_op(out, parents, backward, "conv2d")
+
+
+def avg_pool2d(x: Tensor, k: int) -> Tensor:
+    """Non-overlapping ``k x k`` average pooling (used for coarsening)."""
+    n, c, h, w = x.shape
+    if h % k or w % k:
+        raise ValueError(f"spatial dims {(h, w)} not divisible by pool size {k}")
+    y = x.reshape(n, c, h // k, k, w // k, k)
+    return y.mean(axis=(3, 5))
+
+
+def dropout(x: Tensor, p: float, rng: np.random.Generator, training: bool = True) -> Tensor:
+    """Inverted dropout; identity when not training or p == 0."""
+    if not training or p <= 0.0:
+        return x
+    mask = (rng.random(x.shape) >= p).astype(np.float32) / (1.0 - p)
+    return x * Tensor(mask)

@@ -1,0 +1,552 @@
+"""Reverse-mode automatic differentiation on NumPy arrays.
+
+This is the compute substrate for the whole reproduction: the paper uses
+PyTorch, which is unavailable here, so we implement a tape-based autograd
+engine of our own.  Design follows the guide's advice for numerical
+Python — every op is a vectorised NumPy expression, gradients are computed
+with broadcasting-aware reductions, and no per-element Python loops appear
+anywhere on the hot path.
+
+The public surface mirrors a small subset of ``torch.Tensor``:
+
+>>> a = Tensor(np.ones((2, 3)), requires_grad=True)
+>>> b = (a * 2.0).sum()
+>>> b.backward()
+>>> a.grad
+array([[2., 2., 2.],
+       [2., 2., 2.]], dtype=float32)
+
+Gradients accumulate into ``.grad`` (float32).  A computation graph node
+stores its parents and a closure that maps the upstream gradient to
+parent gradients; ``backward`` runs a topological sort and walks it once.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+
+_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Whether new ops record themselves on the autograd tape."""
+    return getattr(_state, "grad_enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager disabling graph construction (inference mode)."""
+    prev = is_grad_enabled()
+    _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = prev
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` undoing NumPy broadcasting.
+
+    Sums over the leading dimensions that were added and over axes where
+    the original size was 1 but the broadcast size was larger.
+    """
+    if grad.shape == shape:
+        return grad
+    ndim_diff = grad.ndim - len(shape)
+    if ndim_diff > 0:
+        grad = grad.sum(axis=tuple(range(ndim_diff)))
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value) -> np.ndarray:
+    arr = np.asarray(value, dtype=np.float32)
+    return arr
+
+
+class Tensor:
+    """A NumPy array plus an autograd tape node.
+
+    Parameters
+    ----------
+    data:
+        Anything ``np.asarray`` accepts; stored as float32.
+    requires_grad:
+        If True this tensor is a graph leaf whose gradient is retained.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __array_priority__ = 100.0  # make NumPy defer to our __r*__ operators
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = ()
+        self._backward: Callable[[np.ndarray], None] | None = None
+        self._op = "leaf"
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+        op: str,
+    ) -> "Tensor":
+        out = cls(data)
+        if is_grad_enabled() and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+            out._op = op
+        return out
+
+    @staticmethod
+    def zeros(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    @staticmethod
+    def ones(*shape: int, requires_grad: bool = False) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=np.float32), requires_grad=requires_grad)
+
+    # ------------------------------------------------------------------ #
+    # basic introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy). Mutating it bypasses autograd."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def detach(self) -> "Tensor":
+        """A new leaf sharing this tensor's data, cut from the graph."""
+        return Tensor(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}, op={self._op!r}{grad})"
+
+    # ------------------------------------------------------------------ #
+    # gradient accumulation and backward pass
+    # ------------------------------------------------------------------ #
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = grad.astype(np.float32, copy=False)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph.
+
+        ``grad`` defaults to ones for scalar outputs; non-scalar outputs
+        require an explicit upstream gradient, as in PyTorch.
+        """
+        if not self.requires_grad:
+            raise RuntimeError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float32)
+        if grad.shape != self.data.shape:
+            raise ValueError(f"grad shape {grad.shape} != tensor shape {self.data.shape}")
+
+        topo: list[Tensor] = []
+        visited: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:  # iterative DFS: deep ViT graphs overflow recursion limits
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._backward is None:
+                node._accumulate(g)
+                continue
+            for parent, pg in node._backward(g):
+                if not parent.requires_grad or pg is None:
+                    continue
+                key = id(parent)
+                if key in grads:
+                    grads[key] = grads[key] + pg
+                else:
+                    grads[key] = np.asarray(pg, dtype=np.float32)
+        # anything left in grads maps to leaves visited zero-`_backward` way
+        for node in topo:
+            g = grads.pop(id(node), None)
+            if g is not None and node._backward is None:
+                node._accumulate(g)
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def __add__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            return ((a, _unbroadcast(g, a.shape)), (b, _unbroadcast(g, b.shape)))
+
+        return Tensor._from_op(a.data + b.data, (a, b), backward, "add")
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            return ((a, _unbroadcast(g, a.shape)), (b, _unbroadcast(-g, b.shape)))
+
+        return Tensor._from_op(a.data - b.data, (a, b), backward, "sub")
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            return (
+                (a, _unbroadcast(g * b.data, a.shape)),
+                (b, _unbroadcast(g * a.data, b.shape)),
+            )
+
+        return Tensor._from_op(a.data * b.data, (a, b), backward, "mul")
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+
+        def backward(g):
+            return (
+                (a, _unbroadcast(g / b.data, a.shape)),
+                (b, _unbroadcast(-g * a.data / (b.data * b.data), b.shape)),
+            )
+
+        return Tensor._from_op(a.data / b.data, (a, b), backward, "div")
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other) / self
+
+    def __neg__(self) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return ((a, -g),)
+
+        return Tensor._from_op(-a.data, (a,), backward, "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        a = self
+        p = float(exponent)
+
+        def backward(g):
+            return ((a, g * p * np.power(a.data, p - 1.0)),)
+
+        return Tensor._from_op(np.power(a.data, p), (a,), backward, "pow")
+
+    def __matmul__(self, other) -> "Tensor":
+        from .flops import add_flops
+
+        other = self._coerce(other)
+        a, b = self, other
+        out_data = a.data @ b.data
+        k = a.data.shape[-1]
+        add_flops(2.0 * out_data.size * k)
+
+        def backward(g):
+            add_flops(4.0 * out_data.size * k)
+            ga = g @ np.swapaxes(b.data, -1, -2)
+            gb = np.swapaxes(a.data, -1, -2) @ g
+            return ((a, _unbroadcast(ga, a.shape)), (b, _unbroadcast(gb, b.shape)))
+
+        return Tensor._from_op(out_data, (a, b), backward, "matmul")
+
+    # ------------------------------------------------------------------ #
+    # elementwise transcendental
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        a = self
+        out_data = np.exp(a.data)
+
+        def backward(g):
+            return ((a, g * out_data),)
+
+        return Tensor._from_op(out_data, (a,), backward, "exp")
+
+    def log(self) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return ((a, g / a.data),)
+
+        return Tensor._from_op(np.log(a.data), (a,), backward, "log")
+
+    def sqrt(self) -> "Tensor":
+        a = self
+        out_data = np.sqrt(a.data)
+
+        def backward(g):
+            return ((a, g * 0.5 / np.maximum(out_data, 1e-12)),)
+
+        return Tensor._from_op(out_data, (a,), backward, "sqrt")
+
+    def tanh(self) -> "Tensor":
+        a = self
+        out_data = np.tanh(a.data)
+
+        def backward(g):
+            return ((a, g * (1.0 - out_data * out_data)),)
+
+        return Tensor._from_op(out_data, (a,), backward, "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        a = self
+        out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+        def backward(g):
+            return ((a, g * out_data * (1.0 - out_data)),)
+
+        return Tensor._from_op(out_data.astype(np.float32), (a,), backward, "sigmoid")
+
+    def erf(self) -> "Tensor":
+        from scipy import special
+
+        a = self
+        out_data = special.erf(a.data).astype(np.float32)
+        coeff = np.float32(2.0 / np.sqrt(np.pi))
+
+        def backward(g):
+            return ((a, g * coeff * np.exp(-a.data * a.data)),)
+
+        return Tensor._from_op(out_data, (a,), backward, "erf")
+
+    def abs(self) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return ((a, g * np.sign(a.data)),)
+
+        return Tensor._from_op(np.abs(a.data), (a,), backward, "abs")
+
+    def relu(self) -> "Tensor":
+        a = self
+        mask = a.data > 0
+
+        def backward(g):
+            return ((a, g * mask),)
+
+        return Tensor._from_op(a.data * mask, (a,), backward, "relu")
+
+    def clip(self, lo: float, hi: float) -> "Tensor":
+        a = self
+        mask = (a.data >= lo) & (a.data <= hi)
+
+        def backward(g):
+            return ((a, g * mask),)
+
+        return Tensor._from_op(np.clip(a.data, lo, hi), (a,), backward, "clip")
+
+    def maximum(self, other) -> "Tensor":
+        other = self._coerce(other)
+        a, b = self, other
+        take_a = a.data >= b.data
+
+        def backward(g):
+            return (
+                (a, _unbroadcast(g * take_a, a.shape)),
+                (b, _unbroadcast(g * ~take_a, b.shape)),
+            )
+
+        return Tensor._from_op(np.maximum(a.data, b.data), (a, b), backward, "maximum")
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.sum(axis=axis, keepdims=keepdims, dtype=np.float32)
+
+        def backward(g):
+            g_full = g
+            if axis is not None and not keepdims:
+                g_full = np.expand_dims(g, axis=axis)
+            return ((a, np.broadcast_to(g_full, a.shape).copy()),)
+
+        return Tensor._from_op(np.asarray(out_data, dtype=np.float32), (a,), backward, "sum")
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        if axis is None:
+            count = a.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = 1
+            for ax in axes:
+                count *= a.data.shape[ax]
+        return a.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        a = self
+        out_data = a.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(g):
+            g_full = g
+            out_full = out_data
+            if axis is not None and not keepdims:
+                g_full = np.expand_dims(g, axis=axis)
+                out_full = np.expand_dims(out_data, axis=axis)
+            mask = (a.data == out_full).astype(np.float32)
+            # split gradient across ties so the total is conserved
+            denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return ((a, g_full * mask / np.maximum(denom, 1.0)),)
+
+        return Tensor._from_op(np.asarray(out_data, dtype=np.float32), (a,), backward, "max")
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
+        return out
+
+    # ------------------------------------------------------------------ #
+    # shape manipulation
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        a = self
+        orig = a.data.shape
+
+        def backward(g):
+            return ((a, g.reshape(orig)),)
+
+        return Tensor._from_op(a.data.reshape(shape), (a,), backward, "reshape")
+
+    def transpose(self, axis0: int, axis1: int) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return ((a, np.swapaxes(g, axis0, axis1)),)
+
+        return Tensor._from_op(np.swapaxes(a.data, axis0, axis1), (a,), backward, "transpose")
+
+    def permute(self, *axes: int) -> "Tensor":
+        if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        a = self
+        inverse = np.argsort(axes)
+
+        def backward(g):
+            return ((a, np.transpose(g, inverse)),)
+
+        return Tensor._from_op(np.transpose(a.data, axes), (a,), backward, "permute")
+
+    def __getitem__(self, index) -> "Tensor":
+        a = self
+        out_data = a.data[index]
+
+        def backward(g):
+            full = np.zeros_like(a.data)
+            np.add.at(full, index, g)
+            return ((a, full),)
+
+        return Tensor._from_op(np.ascontiguousarray(out_data), (a,), backward, "getitem")
+
+    def pad(self, pad_width: Iterable[tuple[int, int]], value: float = 0.0) -> "Tensor":
+        a = self
+        pw = tuple(tuple(p) for p in pad_width)
+
+        def backward(g):
+            slices = tuple(slice(lo, g.shape[i] - hi) for i, (lo, hi) in enumerate(pw))
+            return ((a, g[slices]),)
+
+        return Tensor._from_op(
+            np.pad(a.data, pw, mode="constant", constant_values=value), (a,), backward, "pad"
+        )
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = tuple(tensors)
+        sizes = [t.data.shape[axis] for t in tensors]
+        offsets = np.cumsum([0] + sizes)
+
+        def backward(g):
+            grads = []
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                idx = [slice(None)] * g.ndim
+                idx[axis] = slice(int(lo), int(hi))
+                grads.append((t, np.ascontiguousarray(g[tuple(idx)])))
+            return tuple(grads)
+
+        data = np.concatenate([t.data for t in tensors], axis=axis)
+        return Tensor._from_op(data, tensors, backward, "concat")
+
+    @staticmethod
+    def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
+        tensors = tuple(tensors)
+
+        def backward(g):
+            parts = np.split(g, len(tensors), axis=axis)
+            return tuple((t, np.squeeze(p, axis=axis)) for t, p in zip(tensors, parts))
+
+        data = np.stack([t.data for t in tensors], axis=axis)
+        return Tensor._from_op(data, tensors, backward, "stack")
+
+    def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
+        a = self
+
+        def backward(g):
+            return ((a, _unbroadcast(g, a.shape)),)
+
+        return Tensor._from_op(np.broadcast_to(a.data, shape).copy(), (a,), backward, "broadcast")

@@ -1,0 +1,20 @@
+"""Training, inference, and profiling harness."""
+
+from .distributed_trainer import OrthogonalTrainer
+from .inference import evaluate_downscaling, global_inference, predict_dataset
+from .profiler import measure_sample_flops, parameter_bytes, profile_model
+from .trainer import TrainConfig, Trainer, load_checkpoint, save_checkpoint
+
+__all__ = [
+    "Trainer",
+    "OrthogonalTrainer",
+    "TrainConfig",
+    "save_checkpoint",
+    "load_checkpoint",
+    "predict_dataset",
+    "evaluate_downscaling",
+    "global_inference",
+    "measure_sample_flops",
+    "parameter_bytes",
+    "profile_model",
+]

@@ -1,0 +1,154 @@
+"""Training harness: pretraining and fine-tuning loops with mixed
+precision, gradient clipping, checkpointing, and metric tracking."""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.losses import BayesianDownscalingLoss
+from ..data.datasets import DownscalingDataset
+from ..data.grids import latitude_weights
+from ..nn import AdamW, Bf16Cast, GradScaler, Module, clip_grad_norm, warmup_cosine
+from ..tensor import Tensor, no_grad
+
+__all__ = ["TrainConfig", "Trainer", "save_checkpoint", "load_checkpoint"]
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters for one training run."""
+
+    epochs: int = 3
+    batch_size: int = 2
+    lr: float = 3e-3
+    min_lr: float = 1e-5
+    warmup_steps: int = 5
+    weight_decay: float = 0.01
+    grad_clip: float = 1.0
+    tv_weight: float = 0.02
+    bf16: bool = False
+    seed: int = 0
+    log_every: int = 0  # 0 disables stdout logging
+
+
+@dataclass
+class TrainHistory:
+    """Per-epoch record of losses and gradient health."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    grad_norms: list[float] = field(default_factory=list)
+    skipped_steps: int = 0
+
+
+class Trainer:
+    """Single-process trainer binding model, data, loss, and optimizer.
+
+    The loss is the paper's Bayesian objective (latitude-weighted MSE +
+    MRF-TV prior) on the fine grid of the training dataset.
+    """
+
+    def __init__(self, model: Module, dataset: DownscalingDataset,
+                 config: TrainConfig, val_dataset: DownscalingDataset | None = None):
+        self.model = model
+        self.dataset = dataset
+        self.val_dataset = val_dataset
+        self.config = config
+        if dataset.normalizer is None:
+            dataset.fit_normalizer()
+        if val_dataset is not None and val_dataset.normalizer is None:
+            val_dataset.normalizer = dataset.normalizer
+            val_dataset.target_normalizer = dataset.target_normalizer
+        self.loss_fn = BayesianDownscalingLoss(
+            latitude_weights(dataset.spec.fine_grid), tv_weight=config.tv_weight
+        )
+        self.optimizer = AdamW(model.parameters(), lr=config.lr,
+                               weight_decay=config.weight_decay)
+        self.scaler = GradScaler() if config.bf16 else None
+        self.cast = Bf16Cast() if config.bf16 else None
+        self.history = TrainHistory()
+        self._rng = np.random.default_rng(config.seed)
+        self._step = 0
+        self._total_steps = max(
+            1, config.epochs * ((len(dataset) + config.batch_size - 1) // config.batch_size)
+        )
+
+    # ------------------------------------------------------------------ #
+    def _forward_loss(self, batch) -> Tensor:
+        pred = self.model(Tensor(batch.inputs))
+        if self.cast is not None:
+            pred = self.cast(pred)
+        return self.loss_fn(pred, Tensor(batch.targets))
+
+    def train_step(self, batch) -> float:
+        """One optimizer step; returns the (unscaled) loss value."""
+        self.optimizer.lr = warmup_cosine(
+            self._step, self.config.warmup_steps, self._total_steps,
+            self.config.lr, self.config.min_lr,
+        )
+        self.optimizer.zero_grad()
+        loss = self._forward_loss(batch)
+        if self.scaler is not None:
+            self.scaler.scale(loss).backward()
+            # clip in unscaled units by scaling the threshold instead
+            scale = self.scaler.scale_value
+            norm = clip_grad_norm(self.optimizer.params,
+                                  self.config.grad_clip * scale) / scale
+            if not self.scaler.step(self.optimizer):
+                self.history.skipped_steps += 1
+        else:
+            loss.backward()
+            norm = clip_grad_norm(self.optimizer.params, self.config.grad_clip)
+            self.optimizer.step()
+        self.history.grad_norms.append(norm)
+        self._step += 1
+        return float(loss.data)
+
+    def train_epoch(self) -> float:
+        self.model.train()
+        losses = []
+        for batch in self.dataset.batches(self.config.batch_size, shuffle=True,
+                                          rng=self._rng):
+            losses.append(self.train_step(batch))
+            if self.config.log_every and len(losses) % self.config.log_every == 0:
+                print(f"step {self._step}: loss={losses[-1]:.4f}")
+        mean_loss = float(np.mean(losses))
+        self.history.train_loss.append(mean_loss)
+        return mean_loss
+
+    def evaluate(self, dataset: DownscalingDataset | None = None) -> float:
+        """Mean loss over a dataset without gradient computation."""
+        dataset = dataset or self.val_dataset or self.dataset
+        self.model.eval()
+        losses = []
+        with no_grad():
+            for batch in dataset.batches(self.config.batch_size):
+                losses.append(float(self._forward_loss(batch).data))
+        return float(np.mean(losses))
+
+    def fit(self) -> TrainHistory:
+        """Run the configured number of epochs, validating after each."""
+        for _ in range(self.config.epochs):
+            self.train_epoch()
+            if self.val_dataset is not None:
+                self.history.val_loss.append(self.evaluate(self.val_dataset))
+        return self.history
+
+
+def save_checkpoint(model: Module, path: str | Path, extra: dict | None = None) -> None:
+    """Serialize model weights (+ optional metadata) to ``path``."""
+    payload = {"state": model.state_dict(), "extra": extra or {}}
+    with open(path, "wb") as f:
+        pickle.dump(payload, f)
+
+
+def load_checkpoint(model: Module, path: str | Path) -> dict:
+    """Load weights saved by :func:`save_checkpoint`; returns the metadata."""
+    with open(path, "rb") as f:
+        payload = pickle.load(f)
+    model.load_state_dict(payload["state"])
+    return payload["extra"]

@@ -1,0 +1,156 @@
+"""Quad-tree adaptive spatial compression tests (Fig. 3 behaviour)."""
+
+import numpy as np
+import pytest
+
+from repro.core import QuadLeaf, QuadTreeCompressor, build_quadtree, uniform_token_count
+from repro.tensor import Tensor
+
+from tests.gradcheck import check_gradient
+
+
+def _feature_with_hotspot(h=32, w=32):
+    """Smooth background + one sharp square → edges concentrated there."""
+    img = np.zeros((h, w))
+    img[4:12, 4:12] = 1.0
+    return img
+
+
+class TestBuildQuadtree:
+    def test_smooth_field_single_leaf_per_root(self):
+        leaves = build_quadtree(np.zeros((16, 16)), min_patch=2, max_patch=16)
+        assert len(leaves) == 1
+        assert leaves[0].size == 16
+
+    def test_hotspot_gets_subdivided(self):
+        leaves = build_quadtree(_feature_with_hotspot(), min_patch=2, max_patch=16)
+        sizes = {(l.y0 < 16 and l.x0 < 16): l.size for l in leaves}
+        # leaves near the hotspot are smaller than far-away leaves
+        hot = [l.size for l in leaves if l.y0 < 16 and l.x0 < 16]
+        cold = [l.size for l in leaves if l.y0 >= 16 and l.x0 >= 16]
+        assert min(hot) < max(cold)
+
+    def test_leaves_tile_exactly(self):
+        leaves = build_quadtree(_feature_with_hotspot(), min_patch=2, max_patch=8)
+        cover = np.zeros((32, 32), dtype=int)
+        for l in leaves:
+            cover[l.y0 : l.y0 + l.size, l.x0 : l.x0 + l.size] += 1
+        np.testing.assert_array_equal(cover, 1)
+
+    def test_min_patch_respected(self):
+        rng = np.random.default_rng(0)
+        leaves = build_quadtree(rng.standard_normal((32, 32)), min_patch=4, max_patch=16,
+                                density_threshold=0.0)
+        assert all(l.size >= 4 for l in leaves)
+
+    def test_compression_reduces_tokens(self):
+        leaves = build_quadtree(_feature_with_hotspot(), min_patch=2, max_patch=16)
+        assert len(leaves) < uniform_token_count(32, 32, 2)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            build_quadtree(np.zeros((12, 12)), min_patch=3, max_patch=12)
+
+    def test_rejects_indivisible_grid(self):
+        with pytest.raises(ValueError):
+            build_quadtree(np.zeros((20, 20)), min_patch=2, max_patch=16)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            build_quadtree(np.zeros(16), min_patch=2, max_patch=4)
+
+    def test_deterministic(self):
+        a = build_quadtree(_feature_with_hotspot(), 2, 16)
+        b = build_quadtree(_feature_with_hotspot(), 2, 16)
+        assert a == b
+
+
+class TestQuadTreeCompressor:
+    @pytest.fixture()
+    def compressor(self):
+        return QuadTreeCompressor.from_feature_image(_feature_with_hotspot(), patch=2,
+                                                     max_patch=16)
+
+    def test_token_count_and_ratio(self, compressor):
+        assert compressor.num_tokens == len(compressor.leaves)
+        assert compressor.compression_ratio > 1.0
+
+    def test_compress_shape(self, compressor):
+        x = Tensor(np.random.default_rng(0).standard_normal((2, 3, 32, 32)).astype(np.float32))
+        tokens = compressor.compress(x)
+        assert tokens.shape == (2, compressor.num_tokens, 3 * 4)
+
+    def test_constant_field_roundtrip_exact(self, compressor):
+        x = Tensor(np.full((1, 2, 32, 32), 3.5, dtype=np.float32))
+        tokens = compressor.compress(x)
+        back = compressor.decompress(tokens, channels=2)
+        np.testing.assert_allclose(back.data, 3.5, rtol=1e-6)
+
+    def test_roundtrip_preserves_mean(self, compressor):
+        x = Tensor(np.random.default_rng(1).standard_normal((1, 1, 32, 32)).astype(np.float32))
+        back = compressor.decompress(compressor.compress(x), channels=1)
+        assert back.data.mean() == pytest.approx(float(x.data.mean()), abs=1e-5)
+
+    def test_fine_region_preserved_better_than_coarse(self):
+        # in the subdivided hotspot, reconstruction is closer to the input
+        feat = _feature_with_hotspot()
+        comp = QuadTreeCompressor.from_feature_image(feat, patch=2, max_patch=16)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 1, 32, 32)).astype(np.float32)
+        back = comp.decompress(comp.compress(Tensor(x)), channels=1).data
+        err = np.abs(back - x)[0, 0]
+        hot_err = err[4:12, 4:12].mean()
+        cold_err = err[20:, 20:].mean()
+        assert hot_err < cold_err
+
+    def test_compress_adjoint_identity(self, compressor):
+        """compress is linear; its backward must be the exact adjoint:
+        <compress(u), v> == <u, compress^T(v)>."""
+        rng = np.random.default_rng(3)
+        u = Tensor(rng.standard_normal((1, 1, 32, 32)).astype(np.float32),
+                   requires_grad=True)
+        v = rng.standard_normal((1, compressor.num_tokens, 4)).astype(np.float32)
+        out = compressor.compress(u)
+        lhs = float((out.data * v).sum())
+        (out * Tensor(v)).sum().backward()
+        rhs = float((u.data * u.grad).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_decompress_adjoint_identity(self, compressor):
+        rng = np.random.default_rng(4)
+        L = compressor.num_tokens
+        u = Tensor(rng.standard_normal((1, L, 4)).astype(np.float32), requires_grad=True)
+        v = rng.standard_normal((1, 1, 32, 32)).astype(np.float32)
+        out = compressor.decompress(u, channels=1)
+        lhs = float((out.data * v).sum())
+        (out * Tensor(v)).sum().backward()
+        rhs = float((u.data * u.grad).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-4)
+
+    def test_validates_grid_mismatch(self, compressor):
+        with pytest.raises(ValueError):
+            compressor.compress(Tensor(np.zeros((1, 1, 16, 16), dtype=np.float32)))
+
+    def test_validates_token_shape(self, compressor):
+        with pytest.raises(ValueError):
+            compressor.decompress(Tensor(np.zeros((1, 3, 4), dtype=np.float32)), channels=1)
+
+    def test_rejects_incomplete_tiling(self):
+        leaves = [QuadLeaf(0, 0, 8)]  # only one quadrant of a 16x16 grid
+        with pytest.raises(ValueError):
+            QuadTreeCompressor(leaves, (16, 16), patch=2)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            QuadTreeCompressor([], (8, 8), patch=2)
+
+    def test_patch_one_is_identity_when_fully_subdivided(self):
+        rng = np.random.default_rng(5)
+        feat = rng.standard_normal((8, 8))
+        comp = QuadTreeCompressor.from_feature_image(
+            feat, patch=1, max_patch=8, density_threshold=-1.0  # always subdivide
+        )
+        assert comp.num_tokens == 64
+        x = Tensor(rng.standard_normal((1, 2, 8, 8)).astype(np.float32))
+        back = comp.decompress(comp.compress(x), channels=2)
+        np.testing.assert_allclose(back.data, x.data, rtol=1e-6)

@@ -1,0 +1,109 @@
+"""Sparse-attention foil tests: reach, blind spots, and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.sparse_attention import AxialAttention, GridAttention, sparse_attention_cost
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(111)
+
+
+def _t(*shape):
+    return Tensor(RNG.standard_normal(shape).astype(np.float32))
+
+
+def _influence(module, gh=8, gw=8, d=8, src=(0, 0)):
+    """Which grid positions change when one channel of one token changes."""
+    x = RNG.standard_normal((1, gh, gw, d)).astype(np.float32)
+    base = module(Tensor(x)).data
+    x2 = x.copy()
+    x2[0, src[0], src[1], 0] += 10.0
+    pert = module(Tensor(x2)).data
+    return np.abs(pert - base)[0].max(axis=-1) > 1e-6
+
+
+class TestAxialAttention:
+    def test_shape(self):
+        ax = AxialAttention(8, 2, rng=np.random.default_rng(0))
+        assert ax(_t(2, 6, 10, 8)).shape == (2, 6, 10, 8)
+
+    def test_global_reach_in_two_hops(self):
+        """Row-then-column attention reaches the whole grid from any token."""
+        ax = AxialAttention(8, 2, rng=np.random.default_rng(0))
+        reached = _influence(ax)
+        assert reached.mean() > 0.95
+
+    def test_row_only_reaches_row(self):
+        """The row stage alone influences only the source row — the
+        anisotropy axial attention must chain two stages to fix."""
+        ax = AxialAttention(8, 2, rng=np.random.default_rng(0))
+
+        class RowOnly:
+            def __call__(self, x):
+                b, gh, gw, d = x.shape
+                rows = x.reshape(b * gh, gw, d)
+                return ax.row_attn(rows).reshape(b, gh, gw, d)
+
+        reached = _influence(RowOnly())
+        assert reached[0].all()          # the source row
+        assert not reached[1:].any()     # nothing else
+
+
+class TestGridAttention:
+    def test_shape_and_stride1_is_full(self):
+        ga = GridAttention(8, 2, stride=1, rng=np.random.default_rng(0))
+        assert ga(_t(1, 4, 4, 8)).shape == (1, 4, 4, 8)
+        reached = _influence(ga, gh=4, gw=4)
+        assert reached.mean() > 0.95     # stride 1 == full attention
+
+    def test_stride_creates_blind_spots(self):
+        """With stride 2, a token influences only its own congruence
+        class — 3/4 of the grid is blind to it (the sampling loss)."""
+        ga = GridAttention(8, 2, stride=2, rng=np.random.default_rng(0))
+        reached = _influence(ga, gh=8, gw=8, src=(0, 0))
+        # only positions with even row AND even column are reachable
+        expected = np.zeros((8, 8), dtype=bool)
+        expected[::2, ::2] = True
+        assert not reached[~expected].any()
+        assert reached[expected].mean() > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GridAttention(8, 2, stride=0)
+        ga = GridAttention(8, 2, stride=3)
+        with pytest.raises(ValueError):
+            ga(_t(1, 8, 8, 8))
+
+
+class TestCostAccounting:
+    def test_orderings(self):
+        full = sparse_attention_cost(64, 64, "full")
+        axial = sparse_attention_cost(64, 64, "axial")
+        grid4 = sparse_attention_cost(64, 64, "grid", stride=4)
+        assert axial < full
+        assert grid4 < full
+        assert grid4 == full / 16  # stride² division of the quadratic term
+
+    def test_none_is_linear(self):
+        """Sec. II's point: neither pattern achieves linear scaling —
+        quadrupling tokens more than quadruples axial/grid cost ratios
+        relative to linear."""
+        def growth(kind, **kw):
+            a = sparse_attention_cost(32, 32, kind, **kw)
+            b = sparse_attention_cost(64, 64, kind, **kw)  # 4x tokens
+            return b / a
+
+        assert growth("axial") > 4.0 * 1.9           # ~N^1.5: 8x
+        assert growth("grid", stride=4) > 4.0 * 3.9  # still quadratic: 16x
+
+    def test_tiles_is_linear_for_contrast(self):
+        from repro.core import tiled_attention_complexity
+        # fixed tile size: T ∝ N ⇒ linear
+        a = tiled_attention_complexity(32 * 32, (32 * 32) // 256)
+        b = tiled_attention_complexity(64 * 64, (64 * 64) // 256)
+        assert b / a == pytest.approx(4.0)  # 4x tokens → 4x cost
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            sparse_attention_cost(8, 8, "random")

@@ -1,0 +1,108 @@
+"""Property-based tests on TILES and quad-tree structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    QuadTreeCompressor,
+    build_quadtree,
+    extract_tile,
+    make_tiles,
+    stitch_tiles,
+    tile_grid,
+)
+from repro.tensor import Tensor
+
+
+class TestTileProperties:
+    @given(st.integers(1, 36))
+    @settings(max_examples=30, deadline=None)
+    def test_tile_grid_factorization(self, n):
+        rows, cols = tile_grid(n)
+        assert rows * cols == n
+        assert rows <= cols  # most-square convention
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 2))
+    @settings(max_examples=30, deadline=None)
+    def test_cores_partition_and_halos_contain_cores(self, rmul, cmul, halo):
+        n_tiles = rmul * cmul
+        rows, cols = tile_grid(n_tiles)
+        th, tw = max(4, halo + 1) * 2, max(4, halo + 1) * 2
+        h, w = rows * th, cols * tw
+        tiles = make_tiles(h, w, n_tiles, halo=halo)
+        cover = np.zeros((h, w), dtype=int)
+        for t in tiles:
+            cover[t.y0 : t.y1, t.x0 : t.x1] += 1
+            assert t.hy0 <= t.y0 < t.y1 <= t.hy1
+            assert t.hx0 <= t.x0 < t.x1 <= t.hx1
+            assert 0 <= t.hy0 and t.hy1 <= h
+            assert 0 <= t.hx0 and t.hx1 <= w
+        np.testing.assert_array_equal(cover, 1)
+
+    @given(st.sampled_from([1, 2, 4, 8]), st.integers(0, 2), st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_stitch_roundtrip(self, n_tiles, halo, factor):
+        """For a model that just repeats pixels (factor-preserving,
+        perfectly local), tiled execution reproduces untiled output for
+        ANY tiling and halo."""
+        rows, cols = tile_grid(n_tiles)
+        h, w = rows * (halo + 2) * 2, cols * (halo + 2) * 2
+        rng = np.random.default_rng(n_tiles * 100 + halo * 10 + factor)
+        x = Tensor(rng.standard_normal((1, 2, h, w)).astype(np.float32))
+
+        def pixel_repeat(t: Tensor) -> Tensor:
+            data = np.repeat(np.repeat(t.data, factor, axis=2), factor, axis=3)
+            return Tensor(data)
+
+        specs = make_tiles(h, w, n_tiles, halo=halo)
+        outs = [pixel_repeat(extract_tile(x, s)) for s in specs]
+        full = stitch_tiles(outs, specs, factor=factor)
+        np.testing.assert_allclose(full.data, pixel_repeat(x).data)
+
+
+class TestQuadtreeProperties:
+    @given(st.integers(0, 1000), st.sampled_from([16, 32]),
+           st.floats(0.0, 0.3))
+    @settings(max_examples=20, deadline=None)
+    def test_leaves_always_tile_exactly(self, seed, size, threshold):
+        rng = np.random.default_rng(seed)
+        img = rng.standard_normal((size, size))
+        leaves = build_quadtree(img, min_patch=2, max_patch=size // 2,
+                                density_threshold=threshold)
+        cover = np.zeros((size, size), dtype=int)
+        for leaf in leaves:
+            assert leaf.size >= 2 and (leaf.size & (leaf.size - 1)) == 0
+            cover[leaf.y0 : leaf.y0 + leaf.size, leaf.x0 : leaf.x0 + leaf.size] += 1
+        np.testing.assert_array_equal(cover, 1)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_threshold_monotone_in_token_count(self, seed):
+        """A stricter (lower) threshold can only create MORE leaves."""
+        rng = np.random.default_rng(seed)
+        img = rng.standard_normal((32, 32))
+        loose = build_quadtree(img, 2, 16, density_threshold=0.3)
+        strict = build_quadtree(img, 2, 16, density_threshold=0.01)
+        assert len(strict) >= len(loose)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=15, deadline=None)
+    def test_compress_preserves_global_mean(self, seed):
+        """Block-mean pooling then nearest fill preserves the field mean
+        exactly (every leaf keeps its own mean)."""
+        rng = np.random.default_rng(seed)
+        feat = rng.standard_normal((16, 16))
+        comp = QuadTreeCompressor.from_feature_image(feat, patch=2, max_patch=8)
+        x = Tensor(rng.standard_normal((1, 1, 16, 16)).astype(np.float32))
+        back = comp.decompress(comp.compress(x), channels=1)
+        assert float(back.data.mean()) == pytest.approx(float(x.data.mean()), abs=1e-5)
+
+    @given(st.integers(0, 300))
+    @settings(max_examples=10, deadline=None)
+    def test_compression_ratio_at_least_one(self, seed):
+        rng = np.random.default_rng(seed)
+        feat = rng.standard_normal((16, 16))
+        comp = QuadTreeCompressor.from_feature_image(feat, patch=2, max_patch=8)
+        assert comp.compression_ratio >= 1.0

@@ -1,0 +1,157 @@
+"""Swin baseline tests: window attention semantics, hierarchy scaling."""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig
+from repro.core.swin import (
+    PatchMerging,
+    SwinBlock,
+    SwinDownscaler,
+    WindowAttention,
+    _roll2d,
+    swin_param_growth,
+    swin_stages_required,
+)
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(71)
+TINY = ModelConfig("tiny", embed_dim=16, depth=2, num_heads=2)
+
+
+def _t(*shape):
+    return Tensor(RNG.standard_normal(shape).astype(np.float32))
+
+
+class TestRoll:
+    def test_roll_matches_numpy(self):
+        x = _t(1, 6, 8, 2)
+        out = _roll2d(x, 2, 3)
+        np.testing.assert_allclose(out.data, np.roll(x.data, (2, 3), axis=(1, 2)))
+
+    def test_roll_zero_identity(self):
+        x = _t(1, 4, 4, 2)
+        np.testing.assert_array_equal(_roll2d(x, 0, 0).data, x.data)
+
+    def test_roll_is_differentiable(self):
+        x = Tensor(RNG.standard_normal((1, 4, 4, 1)).astype(np.float32),
+                   requires_grad=True)
+        (_roll2d(x, 1, 1) ** 2.0).sum().backward()
+        assert x.grad is not None and np.all(np.isfinite(x.grad))
+
+
+class TestWindowAttention:
+    def test_shape_preserved(self):
+        wa = WindowAttention(16, 2, window=4, rng=np.random.default_rng(0))
+        out = wa(_t(2, 8, 8, 16))
+        assert out.shape == (2, 8, 8, 16)
+
+    def test_no_information_crosses_windows(self):
+        """Perturbing one window leaves other windows' outputs unchanged —
+        the locality that makes Swin linear-cost."""
+        wa = WindowAttention(8, 2, window=4, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((1, 8, 8, 8)).astype(np.float32)
+        base = wa(Tensor(x)).data
+        x2 = x.copy()
+        x2[0, :4, :4] += 10.0  # perturb the top-left window only
+        pert = wa(Tensor(x2)).data
+        np.testing.assert_allclose(pert[0, 4:, 4:], base[0, 4:, 4:], atol=1e-6)
+        assert not np.allclose(pert[0, :4, :4], base[0, :4, :4])
+
+    def test_shifted_block_crosses_windows(self):
+        """With the cyclic shift, the same perturbation DOES reach
+        neighbouring windows — the shifted-window mechanism."""
+        blk = SwinBlock(8, 2, window=4, shifted=True, rng=np.random.default_rng(0))
+        x = RNG.standard_normal((1, 8, 8, 8)).astype(np.float32)
+        base = blk(Tensor(x)).data
+        x2 = x.copy()
+        # perturb ONE channel (a uniform shift would sit in LayerNorm's
+        # null space and vanish before the attention)
+        x2[0, 3, 3, 0] += 10.0  # near a window corner
+        pert = blk(Tensor(x2)).data
+        # some tokens outside the original window change
+        outside = np.abs(pert[0, 4:, 4:] - base[0, 4:, 4:]).max()
+        assert outside > 1e-6
+
+    def test_rejects_indivisible_grid(self):
+        wa = WindowAttention(8, 2, window=4)
+        with pytest.raises(ValueError):
+            wa(_t(1, 6, 8, 8))
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowAttention(8, 2, window=0)
+
+
+class TestPatchMerging:
+    def test_halves_grid_doubles_width(self):
+        pm = PatchMerging(8, rng=np.random.default_rng(0))
+        out = pm(_t(2, 8, 12, 8))
+        assert out.shape == (2, 4, 6, 16)
+
+    def test_rejects_odd_grid(self):
+        pm = PatchMerging(8)
+        with pytest.raises(ValueError):
+            pm(_t(1, 5, 4, 8))
+
+
+class TestSwinDownscaler:
+    def test_output_shape(self):
+        model = SwinDownscaler(TINY, 5, 3, factor=4, window=4, n_stages=2,
+                               rng=np.random.default_rng(0))
+        out = model(_t(1, 5, 8, 16))
+        assert out.shape == (1, 3, 32, 64)
+
+    def test_trains(self):
+        from repro.nn import AdamW
+        model = SwinDownscaler(TINY, 5, 2, factor=2, window=4, n_stages=2,
+                               rng=np.random.default_rng(0))
+        x = _t(2, 5, 16, 16)
+        y = _t(2, 2, 32, 32)
+        opt = AdamW(model.parameters(), lr=3e-3, weight_decay=0.0)
+        losses = []
+        for _ in range(4):
+            opt.zero_grad()
+            loss = ((model(x) - y) ** 2.0).mean()
+            losses.append(float(loss.data))
+            loss.backward()
+            opt.step()
+        assert losses[-1] < losses[0]
+
+    def test_channel_validation(self):
+        model = SwinDownscaler(TINY, 5, 3, factor=2)
+        with pytest.raises(ValueError):
+            model(_t(1, 4, 8, 8))
+
+    def test_stage_validation(self):
+        with pytest.raises(ValueError):
+            SwinDownscaler(TINY, 5, 3, factor=2, n_stages=0)
+
+
+class TestHierarchyScaling:
+    """The paper's Sec. II structural criticisms, quantified."""
+
+    def test_stages_grow_logarithmically_with_resolution(self):
+        s1 = swin_stages_required(64 * 64, window=8)
+        s2 = swin_stages_required(256 * 256, window=8)
+        s3 = swin_stages_required(1024 * 1024, window=8)
+        assert s1 < s2 < s3
+        assert s3 - s2 == s2 - s1  # log growth: equal steps per 16x tokens
+
+    def test_model_size_tied_to_hierarchy(self):
+        p2 = swin_param_growth(128, 2)
+        p4 = swin_param_growth(128, 4)
+        p6 = swin_param_growth(128, 6)
+        assert p4 > 3 * p2      # width doubling dominates
+        assert p6 > 3 * p4
+
+    def test_single_model_cannot_serve_all_resolutions(self):
+        """A hierarchy sized for 156 km cannot give global context at
+        0.9 km without growing — the foundation-model blocker."""
+        stages_coarse = swin_stages_required(128 * 256 // 4, window=8)
+        stages_fine = swin_stages_required(21600 * 43200 // 4, window=8)
+        assert stages_fine > stages_coarse + 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            swin_stages_required(0, 8)

@@ -1,0 +1,321 @@
+"""DDP / FSDP / tensor-parallel / Hybrid-OP / TILES-SP correctness tests.
+
+The central invariants: every parallel execution must match its
+single-device reference bit-for-bit or to float32 tolerance, and the
+communication volumes must follow the canonical formulas.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ModelConfig, Reslim
+from repro.distributed import (
+    ColumnParallelLinear,
+    DistributedDataParallel,
+    FSDPEngine,
+    HybridOpChain,
+    ProcessGroup,
+    RowParallelLinear,
+    TensorParallelMLP,
+    TilesSequenceParallel,
+    VirtualCluster,
+    flatten_grads,
+    hybrid_chain_volume,
+    naive_sharded_chain_volume,
+    scatter_batch,
+    shard_array,
+    tiles_comm_volume,
+    ulysses_comm_volume,
+    unflatten_to_grads,
+    unshard_arrays,
+)
+from repro.nn import Linear, Module
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(61)
+TINY = ModelConfig("tiny", embed_dim=16, depth=1, num_heads=2)
+
+
+def _mse(pred, target):
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+class _SmallNet(Module):
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(6, 8, rng=rng)
+        self.fc2 = Linear(8, 2, rng=rng)
+
+    def forward(self, x):
+        return self.fc2(self.fc1(x).tanh())
+
+
+class TestDDP:
+    def test_gradients_match_single_process(self):
+        """THE DDP invariant: averaged shard gradients == full-batch grads."""
+        world = 4
+        x = RNG.standard_normal((8, 6)).astype(np.float32)
+        y = RNG.standard_normal((8, 2)).astype(np.float32)
+
+        reference = _SmallNet(seed=1)
+        loss = _mse(reference(Tensor(x)), Tensor(y))
+        loss.backward()
+        ref_grads = flatten_grads(reference)
+
+        replicas = [_SmallNet(seed=1) for _ in range(world)]
+        group = VirtualCluster(world).world_group()
+        ddp = DistributedDataParallel(replicas, group, _mse)
+        ddp.step_gradients(x, y)
+        for rep in replicas:
+            np.testing.assert_allclose(flatten_grads(rep), ref_grads, rtol=1e-4, atol=1e-5)
+
+    def test_replicas_synchronized_after_init(self):
+        replicas = [_SmallNet(seed=i) for i in range(3)]
+        ddp = DistributedDataParallel(replicas, ProcessGroup([0, 1, 2]), _mse)
+        ddp.assert_replicas_synchronized()
+
+    def test_replicas_stay_synchronized_through_sgd(self):
+        from repro.nn import SGD
+        world = 2
+        replicas = [_SmallNet(seed=i) for i in range(world)]
+        ddp = DistributedDataParallel(replicas, ProcessGroup([0, 1]), _mse)
+        opts = [SGD(r.parameters(), lr=0.1) for r in replicas]
+        for step in range(3):
+            x = RNG.standard_normal((4, 6)).astype(np.float32)
+            y = RNG.standard_normal((4, 2)).astype(np.float32)
+            ddp.step_gradients(x, y)
+            for opt in opts:
+                opt.step()
+        ddp.assert_replicas_synchronized(atol=1e-6)
+
+    def test_scatter_batch(self):
+        shards = scatter_batch(np.arange(8)[:, None], np.arange(8)[:, None], 4)
+        assert len(shards) == 4
+        np.testing.assert_array_equal(shards[1][0].ravel(), [2, 3])
+        with pytest.raises(ValueError):
+            scatter_batch(np.zeros((7, 1)), np.zeros((7, 1)), 4)
+        with pytest.raises(ValueError):
+            scatter_batch(np.zeros((4, 1)), np.zeros((5, 1)), 2)
+
+    def test_flatten_unflatten_roundtrip(self):
+        net = _SmallNet()
+        out = net(Tensor(RNG.standard_normal((2, 6)).astype(np.float32)))
+        out.sum().backward()
+        flat = flatten_grads(net)
+        grads_before = [p.grad.copy() for p in net.parameters()]
+        unflatten_to_grads(net, flat)
+        for g0, p in zip(grads_before, net.parameters()):
+            np.testing.assert_array_equal(g0, p.grad)
+
+    def test_replica_count_validation(self):
+        with pytest.raises(ValueError):
+            DistributedDataParallel([_SmallNet()], ProcessGroup([0, 1]), _mse)
+
+
+class TestFSDP:
+    def test_shard_unshard_roundtrip(self):
+        arr = RNG.standard_normal((5, 7)).astype(np.float32)
+        shards = shard_array(arr, 4)
+        assert len(shards) == 4
+        assert all(s.size == shards[0].size for s in shards)
+        back = unshard_arrays(shards, arr.shape)
+        np.testing.assert_array_equal(back, arr)
+
+    def test_per_rank_memory_is_fraction(self):
+        net = _SmallNet()
+        engine = FSDPEngine(net, ProcessGroup(list(range(4))))
+        total = sum(p.data.nbytes for p in net.parameters())
+        assert engine.per_rank_param_bytes() == pytest.approx(total / 4, rel=0.1)
+        assert engine.peak_param_bytes() < total + engine.per_rank_param_bytes()
+
+    def test_gather_restores_weights(self):
+        net = _SmallNet(seed=5)
+        original = net.state_dict()
+        engine = FSDPEngine(net, ProcessGroup([0, 1]))
+        # corrupt the live weights, then gather from shards
+        for p in net.parameters():
+            p.data[...] = 0.0
+        engine.gather_all()
+        for name, arr in net.state_dict().items():
+            np.testing.assert_allclose(arr, original[name], atol=1e-6)
+
+    def test_forward_backward_and_sharded_sgd_matches_reference(self):
+        """Full FSDP step == plain SGD step on the unsharded model."""
+        x = RNG.standard_normal((4, 6)).astype(np.float32)
+        y = RNG.standard_normal((4, 2)).astype(np.float32)
+
+        ref = _SmallNet(seed=2)
+        loss = _mse(ref(Tensor(x)), Tensor(y))
+        loss.backward()
+        lr = 0.1
+        expected = {n: p.data - lr * p.grad for n, p in ref.named_parameters()}
+
+        net = _SmallNet(seed=2)
+        engine = FSDPEngine(net, ProcessGroup(list(range(4))))
+
+        def run(model):
+            model.zero_grad()
+            l = _mse(model(Tensor(x)), Tensor(y))
+            l.backward()
+            return float(l.data)
+
+        engine.gather_all()
+        run(net)
+        grad_shards = engine.reduce_scatter_grads()
+        engine.apply_sharded_update(grad_shards, lr=lr)
+        for name, p in net.named_parameters():
+            np.testing.assert_allclose(p.data, expected[name], rtol=1e-4, atol=1e-5)
+
+    def test_unknown_layer_rejected(self):
+        engine = FSDPEngine(_SmallNet(), ProcessGroup([0, 1]))
+        with pytest.raises(KeyError):
+            engine.gather_layer("nope")
+
+    def test_communication_recorded(self):
+        group = ProcessGroup([0, 1])
+        engine = FSDPEngine(_SmallNet(), group)
+        engine.gather_all()
+        assert group.stats.calls.get("all_gather", 0) == 4  # one per parameter
+
+
+class TestTensorParallel:
+    def test_column_then_gather_matches_dense(self):
+        g = ProcessGroup([0, 1])
+        w = RNG.standard_normal((8, 6)).astype(np.float32)
+        b = RNG.standard_normal(8).astype(np.float32)
+        x = RNG.standard_normal((3, 6)).astype(np.float32)
+        col = ColumnParallelLinear(w, b, g)
+        out = col.gather_output(col.forward(x))
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-5, atol=1e-5)
+
+    def test_row_parallel_matches_dense(self):
+        g = ProcessGroup([0, 1])
+        w = RNG.standard_normal((4, 8)).astype(np.float32)
+        b = RNG.standard_normal(4).astype(np.float32)
+        x = RNG.standard_normal((3, 8)).astype(np.float32)
+        x_shards = [x[:, :4], x[:, 4:]]
+        out = RowParallelLinear(w, b, g).forward(x_shards)
+        np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-4, atol=1e-5)
+
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_mlp_matches_reference(self, world):
+        g = ProcessGroup(list(range(world)))
+        w1 = RNG.standard_normal((16, 8)).astype(np.float32)
+        b1 = RNG.standard_normal(16).astype(np.float32)
+        w2 = RNG.standard_normal((8, 16)).astype(np.float32)
+        b2 = RNG.standard_normal(8).astype(np.float32)
+        x = RNG.standard_normal((5, 8)).astype(np.float32)
+        mlp = TensorParallelMLP(w1, b1, w2, b2, g)
+        np.testing.assert_allclose(
+            mlp.forward(x), TensorParallelMLP.reference(x, w1, b1, w2, b2),
+            rtol=1e-4, atol=1e-4,
+        )
+
+    def test_exactly_one_allreduce_per_forward(self):
+        g = ProcessGroup([0, 1])
+        mlp = TensorParallelMLP(
+            RNG.standard_normal((8, 4)).astype(np.float32), np.zeros(8, dtype=np.float32),
+            RNG.standard_normal((4, 8)).astype(np.float32), np.zeros(4, dtype=np.float32), g,
+        )
+        mlp.forward(RNG.standard_normal((2, 4)).astype(np.float32))
+        assert g.stats.calls.get("all_reduce", 0) == 1
+        assert g.stats.calls.get("all_gather", 0) == 0
+
+    def test_per_rank_params_are_fraction(self):
+        g = ProcessGroup(list(range(4)))
+        w1 = np.zeros((16, 8), dtype=np.float32)
+        w2 = np.zeros((8, 16), dtype=np.float32)
+        mlp = TensorParallelMLP(w1, np.zeros(16, np.float32), w2, np.zeros(8, np.float32), g)
+        full = w1.nbytes + w2.nbytes
+        assert mlp.per_rank_param_bytes() < full / 2
+
+    def test_split_validation(self):
+        from repro.distributed import split_columns, split_rows
+        with pytest.raises(ValueError):
+            split_columns(np.zeros((7, 4)), 2)
+        with pytest.raises(ValueError):
+            split_rows(np.zeros((4, 7)), 2)
+
+
+class TestHybridOp:
+    def test_chain_matches_reference(self):
+        g = ProcessGroup(list(range(2)))
+        dims = [6, 8, 6, 4, 2]  # 4 weights → even-length chain
+        weights = [RNG.standard_normal((dims[i + 1], dims[i])).astype(np.float32) * 0.3
+                   for i in range(len(dims) - 1)]
+        chain = HybridOpChain(weights, g)
+        x = RNG.standard_normal((3, 6)).astype(np.float32)
+        np.testing.assert_allclose(chain.forward(x), chain.reference(x), rtol=1e-3, atol=1e-4)
+
+    def test_one_allreduce_per_pair(self):
+        g = ProcessGroup([0, 1])
+        weights = [RNG.standard_normal((4, 4)).astype(np.float32) for _ in range(4)]
+        chain = HybridOpChain(weights, g)
+        chain.forward(RNG.standard_normal((2, 4)).astype(np.float32))
+        assert g.stats.calls["all_reduce"] == 2
+        assert chain.collectives_issued() == 2
+
+    def test_rejects_odd_chain(self):
+        with pytest.raises(ValueError):
+            HybridOpChain([np.zeros((4, 4), dtype=np.float32)], ProcessGroup([0, 1]))
+
+    def test_rejects_shape_mismatch(self):
+        weights = [np.zeros((4, 6), dtype=np.float32), np.zeros((2, 5), dtype=np.float32)]
+        with pytest.raises(ValueError):
+            HybridOpChain(weights, ProcessGroup([0, 1]))
+
+    def test_hybrid_beats_naive_volume(self):
+        """The Hybrid-OP claim: less communication than per-layer sharding."""
+        dims = [1024] * 9  # 8 layers
+        naive = naive_sharded_chain_volume(32, dims, world=8)
+        hybrid = hybrid_chain_volume(32, dims, world=8)
+        # half the collective count; an all-reduce moves 2x an all-gather,
+        # so at equal dims the byte volumes tie — the win is frequency
+        assert hybrid <= naive
+        # with narrow pair outputs, Hybrid-OP also wins on volume
+        bottleneck = [1024] + [4096, 128] * 4
+        assert hybrid_chain_volume(32, bottleneck, 8) < \
+            naive_sharded_chain_volume(32, bottleneck, 8)
+
+
+class TestTilesSequenceParallel:
+    def _model(self, seed=0):
+        return Reslim(TINY, 2, 1, factor=2, max_tokens=256, rng=np.random.default_rng(seed))
+
+    def test_distributed_forward_matches_tiled_downscaler(self):
+        from repro.core import TiledDownscaler
+        world = 4
+        replicas = [self._model(seed=i) for i in range(world)]
+        tsp = TilesSequenceParallel(replicas, ProcessGroup(list(range(world))), halo=2, factor=2)
+        x = RNG.standard_normal((1, 2, 16, 16)).astype(np.float32)
+        out = tsp.forward(x)
+        serial = TiledDownscaler(replicas[0], n_tiles=world, halo=2, factor=2)(Tensor(x))
+        np.testing.assert_allclose(out, serial.data, rtol=1e-5, atol=1e-6)
+
+    def test_gradient_averaging_synchronizes(self):
+        world = 4
+        replicas = [self._model(seed=i) for i in range(world)]
+        group = ProcessGroup(list(range(world)))
+        tsp = TilesSequenceParallel(replicas, group, halo=2, factor=2)
+        x = RNG.standard_normal((1, 2, 16, 16)).astype(np.float32)
+        y = RNG.standard_normal((1, 1, 32, 32)).astype(np.float32)
+        tsp.step_gradients(x, y, _mse)
+        ref = flatten_grads(replicas[0])
+        for rep in replicas[1:]:
+            np.testing.assert_allclose(flatten_grads(rep), ref, rtol=1e-5, atol=1e-6)
+        # only ONE all-reduce for the whole batch — the TILES property
+        assert group.stats.calls["all_reduce"] == 1
+
+    def test_comm_volume_comparison(self):
+        """TILES gradient-only traffic ≪ Ulysses per-layer all-to-alls at
+        the paper's scales."""
+        param_bytes = int(9.5e6 * 2)
+        tiles = tiles_comm_volume(param_bytes, world=16)
+        ulysses = ulysses_comm_volume(seq_len=777_660, embed_dim=256, n_layers=6, world=16)
+        assert tiles < ulysses / 10
+
+    def test_replica_validation(self):
+        with pytest.raises(ValueError):
+            TilesSequenceParallel([self._model()], ProcessGroup([0, 1]), halo=1, factor=2)

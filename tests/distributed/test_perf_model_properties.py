@@ -1,0 +1,71 @@
+"""Property-based sanity on the performance model: monotonicities and
+dimensional consistency that must hold for ANY calibration constants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import PAPER_CONFIGS
+from repro.distributed import (
+    DownscalingWorkload,
+    memory_per_gpu_bytes,
+    sustained_flops,
+    time_per_sample,
+    workload_flops_per_sample,
+)
+
+CFG = PAPER_CONFIGS["9.5M"]
+GPUS = st.sampled_from([8, 32, 128, 512, 2048])
+
+
+class TestTimeModelProperties:
+    @given(GPUS)
+    @settings(max_examples=10, deadline=None)
+    def test_more_gpus_never_slower(self, n):
+        w = DownscalingWorkload(CFG, (180, 360), factor=4, out_channels=3, tiles=16)
+        assert time_per_sample(w, 2 * n) <= time_per_sample(w, n) * 1.05
+
+    @given(st.sampled_from(["9.5M", "126M", "1B", "10B"]))
+    @settings(max_examples=4, deadline=None)
+    def test_bigger_model_costs_more_time(self, name):
+        small = DownscalingWorkload(CFG, (180, 360), factor=4, out_channels=3, tiles=16)
+        big = DownscalingWorkload(PAPER_CONFIGS[name], (180, 360), factor=4,
+                                  out_channels=3, tiles=16)
+        if name != "9.5M":
+            assert time_per_sample(big, 512) > time_per_sample(small, 512)
+
+    @given(GPUS)
+    @settings(max_examples=5, deadline=None)
+    def test_sustained_flops_bounded_by_cluster_peak(self, n):
+        from repro.distributed import FRONTIER
+        w = DownscalingWorkload(CFG, (180, 360), factor=4, out_channels=3, tiles=16)
+        assert sustained_flops(w, n) < n * FRONTIER.gpu.peak_bf16_flops
+
+    def test_flops_monotone_in_grid(self):
+        flops = [workload_flops_per_sample(
+            DownscalingWorkload(CFG, (h, 2 * h), factor=4, out_channels=3))
+            for h in (45, 90, 180, 360)]
+        assert flops == sorted(flops)
+
+
+class TestMemoryModelProperties:
+    @given(st.sampled_from([1, 4, 16]), st.sampled_from([1.0, 4.0, 16.0]))
+    @settings(max_examples=9, deadline=None)
+    def test_tiles_and_compression_never_increase_memory(self, tiles, comp):
+        base = DownscalingWorkload(CFG, (360, 720), factor=4, out_channels=18)
+        reduced = DownscalingWorkload(CFG, (360, 720), factor=4, out_channels=18,
+                                      tiles=tiles, compression=comp, halo_tokens=0)
+        assert memory_per_gpu_bytes(reduced, 8) <= memory_per_gpu_bytes(base, 8) * 1.01
+
+    @given(GPUS)
+    @settings(max_examples=5, deadline=None)
+    def test_more_gpus_never_more_memory(self, n):
+        w = DownscalingWorkload(CFG, (360, 720), factor=4, out_channels=18, tiles=16)
+        assert memory_per_gpu_bytes(w, 2 * n) <= memory_per_gpu_bytes(w, n)
+
+    def test_flash_never_worse_than_naive(self):
+        for h in (90, 180, 360):
+            wf = DownscalingWorkload(CFG, (h, 2 * h), flash_attention=True)
+            wn = DownscalingWorkload(CFG, (h, 2 * h), flash_attention=False)
+            assert memory_per_gpu_bytes(wf, 8) <= memory_per_gpu_bytes(wn, 8)

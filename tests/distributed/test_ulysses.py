@@ -1,0 +1,95 @@
+"""Ulysses sequence-parallel attention: exactness and cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import ProcessGroup
+from repro.distributed.sequence_parallel import tiles_comm_volume, ulysses_comm_volume
+from repro.distributed.ulysses import UlyssesAttention, merge_sequence, split_sequence
+
+RNG = np.random.default_rng(81)
+
+
+def _qkv(L, H, D, seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((L, H, D)).astype(np.float32) for _ in range(3)]
+
+
+class TestSequenceSplit:
+    def test_split_merge_roundtrip(self):
+        x = RNG.standard_normal((12, 4, 8)).astype(np.float32)
+        np.testing.assert_array_equal(merge_sequence(split_sequence(x, 4)), x)
+
+    def test_split_validates(self):
+        with pytest.raises(ValueError):
+            split_sequence(np.zeros((10, 2)), 4)
+
+
+class TestUlyssesAttention:
+    @pytest.mark.parametrize("world,L,H", [(2, 16, 4), (4, 32, 8), (4, 16, 4)])
+    def test_matches_single_device(self, world, L, H):
+        """The exactness property: distributed == single-device attention."""
+        group = ProcessGroup(list(range(world)))
+        ua = UlyssesAttention(group, num_heads=H)
+        q, k, v = _qkv(L, H, 8, seed=world)
+        out_shards = ua.forward(split_sequence(q, world),
+                                split_sequence(k, world),
+                                split_sequence(v, world))
+        out = merge_sequence(out_shards)
+        ref = ua.reference(q, k, v)
+        np.testing.assert_allclose(out, ref, rtol=1e-4, atol=1e-5)
+
+    def test_four_all_to_alls_per_layer(self):
+        group = ProcessGroup([0, 1])
+        ua = UlyssesAttention(group, num_heads=4)
+        q, k, v = _qkv(8, 4, 4)
+        ua.forward(split_sequence(q, 2), split_sequence(k, 2), split_sequence(v, 2))
+        assert group.stats.calls["all_to_all"] == 4
+        assert ua.all_to_alls_per_layer() == 4
+
+    def test_head_divisibility_required(self):
+        with pytest.raises(ValueError):
+            UlyssesAttention(ProcessGroup([0, 1, 2]), num_heads=4)
+
+    def test_shard_count_validated(self):
+        ua = UlyssesAttention(ProcessGroup([0, 1]), num_heads=2)
+        q, k, v = _qkv(8, 2, 4)
+        with pytest.raises(ValueError):
+            ua.forward(split_sequence(q, 2), split_sequence(k, 2), [v])
+
+
+class TestTilesVsUlyssesCost:
+    """The paper's core systems argument, now grounded in a real
+    implementation of both sides."""
+
+    def test_comm_volume_gap_at_paper_scale(self):
+        # 777,660-token task, 9.5M model, 16 ranks, one step
+        ulysses = ulysses_comm_volume(seq_len=777_660, embed_dim=256,
+                                      n_layers=6, world=16)
+        tiles = tiles_comm_volume(param_bytes=int(9.5e6 * 2), world=16)
+        assert ulysses / tiles > 30  # far more traffic per step
+        # and the gap widens with sequence length (TILES is seq-independent)
+        assert ulysses_comm_volume(4_200_000_000, 256, 6, 16) / tiles > 1e5
+
+    def test_ulysses_volume_grows_with_sequence_tiles_does_not(self):
+        u1 = ulysses_comm_volume(100_000, 256, 6, 16)
+        u2 = ulysses_comm_volume(1_000_000, 256, 6, 16)
+        assert u2 == pytest.approx(10 * u1)
+        t1 = tiles_comm_volume(int(9.5e6 * 2), 16)
+        t2 = tiles_comm_volume(int(9.5e6 * 2), 16)  # sequence-independent
+        assert t1 == t2
+
+    def test_measured_traffic_matches_analytic(self):
+        """The analytic per-layer volume formula matches the bytes the real
+        implementation actually pushes through the collectives."""
+        world, L, H, D = 4, 32, 8, 8
+        group = ProcessGroup(list(range(world)))
+        ua = UlyssesAttention(group, num_heads=H)
+        q, k, v = _qkv(L, H, D, seed=9)
+        ua.forward(split_sequence(q, world), split_sequence(k, world),
+                   split_sequence(v, world))
+        measured = group.stats.bytes_per_rank["all_to_all"]
+        # 4 all-to-alls, each rank moving (P-1)/P of its 1/P activation share
+        expected = ulysses_comm_volume(L, H * D, n_layers=1, world=world,
+                                       steps=1) / 2  # forward only
+        assert measured == pytest.approx(expected, rel=1e-6)

@@ -1,0 +1,136 @@
+"""Climate-verification diagnostics tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evals.climate import (
+    annual_cycle_stats,
+    bias_decomposition,
+    contingency_table,
+    event_skill,
+    taylor_statistics,
+)
+
+
+class TestContingency:
+    def test_counts(self):
+        pred = np.array([1.0, 1.0, 0.0, 0.0])
+        obs = np.array([1.0, 0.0, 1.0, 0.0])
+        t = contingency_table(pred, obs, threshold=0.5)
+        assert t == {"hits": 1, "misses": 1, "false_alarms": 1,
+                     "correct_negatives": 1}
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            contingency_table(np.zeros(3), np.zeros(4), 0.5)
+
+
+class TestEventSkill:
+    def test_perfect_forecast(self):
+        obs = np.random.default_rng(0).random(1000)
+        s = event_skill(obs, obs, threshold=0.7)
+        assert s["pod"] == 1.0 and s["far"] == 0.0 and s["csi"] == 1.0
+        assert s["bias"] == pytest.approx(1.0)
+        assert s["ets"] == pytest.approx(1.0)
+
+    def test_never_forecast(self):
+        obs = np.ones(100)
+        pred = np.zeros(100)
+        s = event_skill(pred, obs, threshold=0.5)
+        assert s["pod"] == 0.0 and s["csi"] == 0.0 and s["bias"] == 0.0
+
+    def test_overforecasting_shows_in_bias_and_far(self):
+        rng = np.random.default_rng(1)
+        obs = (rng.random(10_000) > 0.9).astype(float)
+        pred = (rng.random(10_000) > 0.5).astype(float)  # events everywhere
+        s = event_skill(pred, obs, threshold=0.5)
+        assert s["bias"] > 2.0
+        assert s["far"] > 0.5
+
+    def test_random_forecast_ets_near_zero(self):
+        rng = np.random.default_rng(2)
+        obs = (rng.random(50_000) > 0.8).astype(float)
+        pred = (rng.random(50_000) > 0.8).astype(float)
+        s = event_skill(pred, obs, threshold=0.5)
+        assert abs(s["ets"]) < 0.02
+
+    def test_degenerate_no_events(self):
+        s = event_skill(np.zeros(10), np.zeros(10), threshold=0.5)
+        assert s["bias"] == 1.0 and s["pod"] == 0.0
+
+
+class TestTaylor:
+    def test_perfect_point(self):
+        rng = np.random.default_rng(3)
+        obs = rng.standard_normal(500)
+        s = taylor_statistics(obs, obs)
+        assert s["correlation"] == pytest.approx(1.0)
+        assert s["sigma_ratio"] == pytest.approx(1.0)
+        assert s["crmse"] == pytest.approx(0.0, abs=1e-12)
+
+    @given(st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_taylor_identity(self, seed):
+        """crmse² = 1 + σ̂² − 2·σ̂·r — the law of cosines behind the
+        Taylor diagram."""
+        rng = np.random.default_rng(seed)
+        obs = rng.standard_normal(400)
+        pred = 0.5 * obs + 0.5 * rng.standard_normal(400)
+        s = taylor_statistics(pred, obs)
+        lhs = s["crmse"] ** 2
+        rhs = 1 + s["sigma_ratio"] ** 2 - 2 * s["sigma_ratio"] * s["correlation"]
+        assert lhs == pytest.approx(rhs, rel=1e-6, abs=1e-9)
+
+    def test_constant_obs_rejected(self):
+        with pytest.raises(ValueError):
+            taylor_statistics(np.ones(10), np.ones(10))
+
+
+class TestBiasDecomposition:
+    def test_mse_decomposes(self):
+        rng = np.random.default_rng(4)
+        obs = rng.standard_normal(1000)
+        pred = 1.5 * obs + 0.3 + 0.2 * rng.standard_normal(1000)
+        d = bias_decomposition(pred, obs)
+        total = d["mse_bias_term"] + d["mse_variance_term"] + d["mse_phase_term"]
+        assert d["mse"] == pytest.approx(total, rel=1e-6)
+
+    def test_pure_offset(self):
+        obs = np.random.default_rng(5).standard_normal(200)
+        d = bias_decomposition(obs + 2.0, obs)
+        assert d["mean_bias"] == pytest.approx(2.0)
+        assert d["mse"] == pytest.approx(4.0, rel=1e-6)
+        assert d["variance_ratio"] == pytest.approx(1.0)
+
+
+class TestAnnualCycle:
+    def test_recovers_known_harmonic(self):
+        spy = 12
+        t = np.arange(10 * spy) / spy
+        series = 5.0 + 3.0 * np.cos(2 * np.pi * (t - 0.25))
+        s = annual_cycle_stats(series, spy)
+        assert s["mean"] == pytest.approx(5.0, abs=1e-9)
+        assert s["amplitude"] == pytest.approx(3.0, rel=1e-6)
+        assert s["phase"] == pytest.approx(0.25, abs=1e-6)
+
+    def test_no_cycle(self):
+        s = annual_cycle_stats(np.full(24, 7.0), 12)
+        assert s["amplitude"] == pytest.approx(0.0, abs=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            annual_cycle_stats(np.ones(5), 12)
+
+    def test_synthetic_world_has_seasonal_cycle(self):
+        """End-to-end: the ClimateWorld's t2m carries a detectable annual
+        harmonic (the seasonal forcing built into the generator)."""
+        from repro.data import ClimateWorld, Grid, variable_index
+        world = ClimateWorld(Grid(8, 16), seed=2, samples_per_year=8)
+        series = np.array([
+            world.fine_sample(2000 + y, i)[variable_index("t2m")].mean()
+            for y in range(2) for i in range(8)
+        ])
+        s = annual_cycle_stats(series, samples_per_year=8)
+        assert s["amplitude"] > 1.0  # Kelvin-scale seasonal swing

@@ -1,0 +1,59 @@
+"""Power-spectrum estimator tests."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.data import gaussian_random_field
+from repro.evals import radial_power_spectrum, spectral_fidelity, spectral_slope
+
+
+class TestRadialSpectrum:
+    def test_shapes_and_positive(self):
+        f = gaussian_random_field((64, 64), 2.0, np.random.default_rng(0))
+        k, p = radial_power_spectrum(f)
+        assert len(k) == len(p)
+        assert np.all(p >= 0) and np.all(k > 0)
+
+    def test_single_mode_peaks_at_its_wavenumber(self):
+        h = w = 64
+        x = np.arange(w)[None, :]
+        field = np.sin(2 * np.pi * 8 * x / w) * np.ones((h, 1))
+        k, p = radial_power_spectrum(field)
+        assert abs(k[np.argmax(p)] - 8) < 1.5
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            radial_power_spectrum(np.zeros(16))
+
+    def test_dc_removed(self):
+        # adding a constant offset must not change the spectrum
+        f = gaussian_random_field((32, 32), 2.0, np.random.default_rng(1)).astype(np.float64)
+        _, p1 = radial_power_spectrum(f)
+        _, p2 = radial_power_spectrum(f + 100.0)
+        np.testing.assert_allclose(p1, p2, rtol=1e-8)
+
+
+class TestSpectralSlope:
+    @pytest.mark.parametrize("beta", [1.5, 2.5, 3.5])
+    def test_recovers_grf_slope(self, beta):
+        f = gaussian_random_field((256, 256), beta, np.random.default_rng(2))
+        est = spectral_slope(f)
+        assert est == pytest.approx(-beta, abs=0.5)
+
+
+class TestSpectralFidelity:
+    def test_zero_for_identical(self):
+        f = gaussian_random_field((64, 64), 2.0, np.random.default_rng(3))
+        assert spectral_fidelity(f, f) == pytest.approx(0.0, abs=1e-9)
+
+    def test_blur_increases_infidelity(self):
+        truth = gaussian_random_field((128, 128), 2.0, np.random.default_rng(4))
+        mild = ndimage.gaussian_filter(truth, 0.5)
+        heavy = ndimage.gaussian_filter(truth, 3.0)
+        assert spectral_fidelity(heavy, truth) > spectral_fidelity(mild, truth)
+
+    def test_validates_fraction(self):
+        f = np.zeros((16, 16))
+        with pytest.raises(ValueError):
+            spectral_fidelity(f, f, high_freq_fraction=0.0)

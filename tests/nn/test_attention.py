@@ -1,0 +1,184 @@
+"""Flash attention exactness + attention layer tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    CrossAttention,
+    MultiHeadSelfAttention,
+    TransformerBlock,
+    TransformerEncoder,
+    PatchEmbed,
+    attention_flop_count,
+    attention_peak_elems,
+    flash_attention,
+    naive_attention,
+    unpatchify,
+)
+from repro.tensor import Tensor
+
+RNG = np.random.default_rng(11)
+
+
+def _t(*shape, grad=False):
+    return Tensor(RNG.standard_normal(shape).astype(np.float32), requires_grad=grad)
+
+
+class TestFlashExactness:
+    """Flash attention must match naive attention in values AND gradients."""
+
+    @pytest.mark.parametrize("L,block", [(16, 4), (17, 4), (5, 8), (64, 16), (33, 32)])
+    def test_forward_matches_naive(self, L, block):
+        q, k, v = _t(2, 3, L, 8), _t(2, 3, L, 8), _t(2, 3, L, 8)
+        out_f = flash_attention(q, k, v, block_size=block)
+        out_n = naive_attention(q, k, v)
+        np.testing.assert_allclose(out_f.data, out_n.data, rtol=1e-4, atol=1e-5)
+
+    def test_backward_matches_naive(self):
+        qd = RNG.standard_normal((1, 2, 20, 4)).astype(np.float32)
+        kd = RNG.standard_normal((1, 2, 20, 4)).astype(np.float32)
+        vd = RNG.standard_normal((1, 2, 20, 4)).astype(np.float32)
+        w = RNG.standard_normal((1, 2, 20, 4)).astype(np.float32)
+
+        grads = {}
+        for impl, name in [(flash_attention, "flash"), (naive_attention, "naive")]:
+            q = Tensor(qd.copy(), requires_grad=True)
+            k = Tensor(kd.copy(), requires_grad=True)
+            v = Tensor(vd.copy(), requires_grad=True)
+            kwargs = {"block_size": 8} if name == "flash" else {}
+            (impl(q, k, v, **kwargs) * Tensor(w)).sum().backward()
+            grads[name] = (q.grad, k.grad, v.grad)
+        for gf, gn in zip(grads["flash"], grads["naive"]):
+            np.testing.assert_allclose(gf, gn, rtol=2e-3, atol=1e-4)
+
+    def test_cross_shaped_lengths(self):
+        # Lq != Lk (cross attention shape)
+        q, k, v = _t(1, 1, 7, 4), _t(1, 1, 13, 4), _t(1, 1, 13, 4)
+        np.testing.assert_allclose(
+            flash_attention(q, k, v, block_size=4).data,
+            naive_attention(q, k, v).data,
+            rtol=1e-4, atol=1e-5,
+        )
+
+    def test_extreme_logits_stable(self):
+        # large-magnitude queries: online softmax must not overflow
+        q = Tensor(RNG.standard_normal((1, 1, 8, 4)).astype(np.float32) * 50)
+        k = Tensor(RNG.standard_normal((1, 1, 8, 4)).astype(np.float32) * 50)
+        v = _t(1, 1, 8, 4)
+        out = flash_attention(q, k, v, block_size=4)
+        assert np.all(np.isfinite(out.data))
+
+    def test_custom_scale(self):
+        q, k, v = _t(1, 1, 6, 4), _t(1, 1, 6, 4), _t(1, 1, 6, 4)
+        np.testing.assert_allclose(
+            flash_attention(q, k, v, scale=0.3, block_size=2).data,
+            naive_attention(q, k, v, scale=0.3).data,
+            rtol=1e-4, atol=1e-5,
+        )
+
+    @given(st.integers(2, 24), st.integers(1, 16))
+    @settings(max_examples=20, deadline=None)
+    def test_property_block_size_invariance(self, L, block):
+        rng = np.random.default_rng(L * 100 + block)
+        q = Tensor(rng.standard_normal((1, 1, L, 4)).astype(np.float32))
+        k = Tensor(rng.standard_normal((1, 1, L, 4)).astype(np.float32))
+        v = Tensor(rng.standard_normal((1, 1, L, 4)).astype(np.float32))
+        a = flash_attention(q, k, v, block_size=block)
+        b = flash_attention(q, k, v, block_size=L)
+        np.testing.assert_allclose(a.data, b.data, rtol=1e-4, atol=1e-5)
+
+
+class TestAttentionAccounting:
+    def test_flop_count_quadratic_in_seq(self):
+        f1 = attention_flop_count(100, 64, 8)
+        f2 = attention_flop_count(200, 64, 8)
+        assert f2 == 4 * f1
+
+    def test_flash_memory_linear_naive_quadratic(self):
+        naive = [attention_peak_elems(n, 64, 128, flash=False) for n in (1000, 2000)]
+        flash = [attention_peak_elems(n, 64, 128, flash=True) for n in (1000, 2000)]
+        assert naive[1] / naive[0] > 3.5          # ~quadratic
+        assert flash[1] / flash[0] < 2.5          # ~linear
+        assert flash[0] < naive[0]
+
+
+class TestAttentionLayers:
+    def test_mhsa_shape(self):
+        attn = MultiHeadSelfAttention(16, 4, rng=np.random.default_rng(0))
+        out = attn(_t(2, 10, 16))
+        assert out.shape == (2, 10, 16)
+
+    def test_mhsa_flash_equals_naive_layer(self):
+        rng_seed = 3
+        a1 = MultiHeadSelfAttention(16, 4, use_flash=True, block_size=4,
+                                    rng=np.random.default_rng(rng_seed))
+        a2 = MultiHeadSelfAttention(16, 4, use_flash=False,
+                                    rng=np.random.default_rng(rng_seed))
+        a2.load_state_dict(a1.state_dict())
+        x = _t(1, 12, 16)
+        np.testing.assert_allclose(a1(x).data, a2(x).data, rtol=1e-4, atol=1e-5)
+
+    def test_mhsa_rejects_indivisible_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(10, 3)
+
+    def test_cross_attention_aggregates_variables(self):
+        ca = CrossAttention(8, 2, rng=np.random.default_rng(0))
+        query = _t(2, 1, 8)      # one aggregate token
+        context = _t(2, 23, 8)   # 23 variable embeddings
+        out = ca(query, context)
+        assert out.shape == (2, 1, 8)
+
+    def test_cross_attention_grads_flow_to_context(self):
+        ca = CrossAttention(8, 2, rng=np.random.default_rng(0))
+        ctx = _t(1, 5, 8, grad=True)
+        ca(_t(1, 2, 8), ctx).sum().backward()
+        assert ctx.grad is not None and np.any(ctx.grad != 0)
+
+
+class TestTransformer:
+    def test_block_residual_structure(self):
+        blk = TransformerBlock(16, 4, rng=np.random.default_rng(0))
+        x = _t(2, 6, 16)
+        out = blk(x)
+        assert out.shape == x.shape
+
+    def test_encoder_forward_and_params(self):
+        enc = TransformerEncoder(16, 2, 4, max_len=64, rng=np.random.default_rng(0))
+        out = enc(_t(2, 10, 16))
+        assert out.shape == (2, 10, 16)
+        assert enc.num_parameters() > 0
+
+    def test_encoder_positional_interpolation_for_long_seq(self):
+        enc = TransformerEncoder(8, 1, 2, max_len=4, rng=np.random.default_rng(0))
+        out = enc(_t(1, 9, 8))  # longer than the table
+        assert out.shape == (1, 9, 8)
+
+    def test_patch_embed_roundtrip_shapes(self):
+        pe = PatchEmbed(3, 16, 2, rng=np.random.default_rng(0))
+        tokens = pe(_t(2, 3, 8, 12))
+        assert tokens.shape == (2, (8 // 2) * (12 // 2), 16)
+        assert pe.grid_shape(8, 12) == (4, 6)
+
+    def test_patch_embed_rejects_indivisible(self):
+        pe = PatchEmbed(3, 16, 3)
+        with pytest.raises(ValueError):
+            pe(_t(1, 3, 8, 9))
+
+    def test_unpatchify_inverts_patch_layout(self):
+        # tokens laid out as identity patches must reassemble exactly
+        x = RNG.standard_normal((1, 2, 6, 8)).astype(np.float32)
+        b, c, h, w = x.shape
+        p = 2
+        gh, gw = h // p, w // p
+        arr = x.reshape(b, c, gh, p, gw, p).transpose(0, 2, 4, 1, 3, 5).reshape(b, gh * gw, c * p * p)
+        out = unpatchify(Tensor(arr), gh, gw, c, p)
+        np.testing.assert_allclose(out.data, x)
+
+    def test_unpatchify_validates(self):
+        with pytest.raises(ValueError):
+            unpatchify(_t(1, 5, 12), 2, 2, 3, 2)
+        with pytest.raises(ValueError):
+            unpatchify(_t(1, 4, 13), 2, 2, 3, 2)

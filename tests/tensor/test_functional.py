@@ -1,0 +1,187 @@
+"""Tests for functional ops: softmax, gelu, interpolation, conv, pooling."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.tensor import (
+    Tensor,
+    avg_pool2d,
+    bilinear_upsample,
+    conv2d,
+    dropout,
+    gelu,
+    im2col,
+    log_softmax,
+    pixel_shuffle,
+    pixel_unshuffle,
+    silu,
+    softmax,
+)
+
+from tests.gradcheck import check_gradient
+
+RNG = np.random.default_rng(1)
+
+
+def _x(*shape):
+    return RNG.standard_normal(shape).astype(np.float32)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        s = softmax(Tensor(_x(4, 7)), axis=-1)
+        np.testing.assert_allclose(s.data.sum(axis=-1), np.ones(4), rtol=1e-6)
+
+    def test_stable_for_large_logits(self):
+        s = softmax(Tensor(np.array([[1000.0, 1000.0, -1000.0]])), axis=-1)
+        assert np.all(np.isfinite(s.data))
+        np.testing.assert_allclose(s.data[0, :2], [0.5, 0.5], rtol=1e-6)
+
+    def test_gradient(self):
+        w = Tensor(_x(3, 5))
+        check_gradient(lambda t: (softmax(t, axis=-1) * w).sum(), _x(3, 5))
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = Tensor(_x(2, 6))
+        np.testing.assert_allclose(
+            log_softmax(x).data, np.log(softmax(x).data), rtol=1e-5, atol=1e-6
+        )
+
+    def test_log_softmax_gradient(self):
+        w = Tensor(_x(2, 4))
+        check_gradient(lambda t: (log_softmax(t, axis=-1) * w).sum(), _x(2, 4))
+
+
+class TestActivations:
+    def test_gelu_known_values(self):
+        x = Tensor(np.array([0.0, 1.0, -1.0]))
+        out = gelu(x)
+        np.testing.assert_allclose(out.data, [0.0, 0.8413447, -0.15865526], rtol=1e-5)
+
+    def test_gelu_gradient(self):
+        check_gradient(lambda t: gelu(t).sum(), _x(3, 3))
+
+    def test_silu_gradient(self):
+        check_gradient(lambda t: silu(t).sum(), _x(3, 3))
+
+
+class TestBilinear:
+    def test_identity_when_same_size(self):
+        x = _x(1, 2, 5, 6)
+        out = bilinear_upsample(Tensor(x), 5, 6)
+        np.testing.assert_allclose(out.data, x, atol=1e-6)
+
+    def test_constant_preserved(self):
+        x = np.full((1, 1, 4, 4), 3.0, dtype=np.float32)
+        out = bilinear_upsample(Tensor(x), 8, 8)
+        np.testing.assert_allclose(out.data, 3.0, rtol=1e-6)
+
+    def test_upsample_shape(self):
+        out = bilinear_upsample(Tensor(_x(2, 3, 4, 8)), 16, 32)
+        assert out.shape == (2, 3, 16, 32)
+
+    def test_downsample_shape(self):
+        out = bilinear_upsample(Tensor(_x(1, 1, 8, 8)), 4, 4)
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_gradient(self):
+        check_gradient(lambda t: (bilinear_upsample(t, 6, 6) ** 2.0).sum(), _x(1, 1, 3, 3))
+
+    def test_linear_ramp_interpolated_linearly(self):
+        x = np.arange(4, dtype=np.float32).reshape(1, 1, 1, 4)
+        x = np.repeat(x, 4, axis=2)
+        out = bilinear_upsample(Tensor(x), 4, 8).data[0, 0, 0]
+        assert np.all(np.diff(out) >= 0)  # monotone along ramp
+
+
+class TestPixelShuffle:
+    def test_roundtrip(self):
+        x = _x(2, 8, 3, 5)
+        out = pixel_unshuffle(pixel_shuffle(Tensor(x), 2), 2)
+        np.testing.assert_allclose(out.data, x)
+
+    def test_shapes(self):
+        assert pixel_shuffle(Tensor(_x(1, 12, 4, 4)), 2).shape == (1, 3, 8, 8)
+        assert pixel_unshuffle(Tensor(_x(1, 3, 8, 8)), 2).shape == (1, 12, 4, 4)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            pixel_shuffle(Tensor(_x(1, 7, 4, 4)), 2)
+        with pytest.raises(ValueError):
+            pixel_unshuffle(Tensor(_x(1, 3, 7, 8)), 2)
+
+    def test_gradient(self):
+        check_gradient(lambda t: (pixel_shuffle(t, 2) ** 2.0).sum(), _x(1, 4, 2, 2))
+
+
+class TestConv2d:
+    def test_matches_scipy_correlate(self):
+        x = _x(1, 1, 8, 8)
+        w = _x(1, 1, 3, 3)
+        out = conv2d(Tensor(x), Tensor(w), None, stride=1, pad=1)
+        ref = signal.correlate2d(x[0, 0], w[0, 0], mode="same")
+        np.testing.assert_allclose(out.data[0, 0], ref, rtol=1e-4, atol=1e-5)
+
+    def test_stride_and_pad_shapes(self):
+        out = conv2d(Tensor(_x(2, 3, 9, 9)), Tensor(_x(5, 3, 3, 3)), None, stride=2, pad=1)
+        assert out.shape == (2, 5, 5, 5)
+
+    def test_bias_added(self):
+        x = Tensor(np.zeros((1, 1, 4, 4), dtype=np.float32))
+        w = Tensor(np.zeros((2, 1, 1, 1), dtype=np.float32))
+        b = Tensor(np.array([1.5, -2.0], dtype=np.float32))
+        out = conv2d(x, w, b)
+        np.testing.assert_allclose(out.data[0, 0], 1.5)
+        np.testing.assert_allclose(out.data[0, 1], -2.0)
+
+    def test_input_gradient(self):
+        w = Tensor(_x(2, 1, 3, 3))
+        check_gradient(lambda t: (conv2d(t, w, None, pad=1) ** 2.0).sum(), _x(1, 1, 5, 5))
+
+    def test_weight_gradient(self):
+        x = Tensor(_x(1, 2, 5, 5))
+        check_gradient(lambda t: (conv2d(x, t, None, pad=1) ** 2.0).sum(), _x(3, 2, 3, 3))
+
+    def test_bias_gradient(self):
+        x = Tensor(_x(1, 1, 4, 4))
+        w = Tensor(_x(2, 1, 3, 3))
+        check_gradient(lambda t: (conv2d(x, w, t, pad=1) ** 2.0).sum(), _x(2))
+
+    def test_rejects_mismatched_channels(self):
+        with pytest.raises(ValueError):
+            conv2d(Tensor(_x(1, 3, 4, 4)), Tensor(_x(2, 4, 3, 3)), None)
+
+    def test_im2col_count(self):
+        cols = im2col(_x(1, 2, 6, 6), k=3, stride=1, pad=0)
+        assert cols.shape == (1, 2 * 9, 4 * 4)
+
+
+class TestPooling:
+    def test_avg_pool_constant(self):
+        x = np.full((1, 1, 4, 4), 5.0, dtype=np.float32)
+        np.testing.assert_allclose(avg_pool2d(Tensor(x), 2).data, 5.0)
+
+    def test_avg_pool_gradient(self):
+        check_gradient(lambda t: (avg_pool2d(t, 2) ** 2.0).sum(), _x(1, 1, 4, 4))
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            avg_pool2d(Tensor(_x(1, 1, 5, 4)), 2)
+
+
+class TestDropout:
+    def test_identity_in_eval(self):
+        x = Tensor(_x(10, 10))
+        out = dropout(x, 0.5, np.random.default_rng(0), training=False)
+        np.testing.assert_allclose(out.data, x.data)
+
+    def test_preserves_expectation(self):
+        x = Tensor(np.ones((200, 200), dtype=np.float32))
+        out = dropout(x, 0.3, np.random.default_rng(0), training=True)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_zero_prob_is_identity(self):
+        x = Tensor(_x(5, 5))
+        out = dropout(x, 0.0, np.random.default_rng(0))
+        np.testing.assert_allclose(out.data, x.data)

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) on the tensor engine's invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, bilinear_upsample, conv2d, softmax
+
+dims = st.integers(1, 6)
+
+
+class TestBroadcastingGradients:
+    @given(dims, dims, dims)
+    @settings(max_examples=25, deadline=None)
+    def test_add_gradient_conserves_mass(self, a, b, c):
+        """d(sum(x + y))/dx sums to the output size regardless of the
+        broadcast pattern — gradient 'mass' conservation."""
+        rng = np.random.default_rng(a * 100 + b * 10 + c)
+        x = Tensor(rng.standard_normal((a, 1, c)).astype(np.float32), requires_grad=True)
+        y = Tensor(rng.standard_normal((1, b, 1)).astype(np.float32), requires_grad=True)
+        (x + y).sum().backward()
+        out_size = a * b * c
+        assert x.grad.sum() == pytest.approx(out_size, rel=1e-5)
+        assert y.grad.sum() == pytest.approx(out_size, rel=1e-5)
+
+    @given(dims, dims)
+    @settings(max_examples=25, deadline=None)
+    def test_mul_gradient_is_partner_value(self, a, b):
+        rng = np.random.default_rng(a * 10 + b)
+        x = Tensor(rng.standard_normal((a, b)).astype(np.float32), requires_grad=True)
+        y = Tensor(rng.standard_normal((a, b)).astype(np.float32))
+        (x * y).sum().backward()
+        np.testing.assert_allclose(x.grad, y.data, rtol=1e-6)
+
+
+class TestLinearity:
+    @given(dims, dims, dims, st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_matmul_linear_in_first_argument(self, m, k, n, alpha, beta):
+        rng = np.random.default_rng(m * 100 + k * 10 + n)
+        a1 = rng.standard_normal((m, k)).astype(np.float32)
+        a2 = rng.standard_normal((m, k)).astype(np.float32)
+        b = Tensor(rng.standard_normal((k, n)).astype(np.float32))
+        lhs = (Tensor(alpha * a1 + beta * a2) @ b).data
+        rhs = alpha * (Tensor(a1) @ b).data + beta * (Tensor(a2) @ b).data
+        np.testing.assert_allclose(lhs, rhs, rtol=1e-3, atol=1e-4)
+
+    @given(st.integers(3, 10), st.integers(1, 3), st.integers(1, 3))
+    @settings(max_examples=15, deadline=None)
+    def test_conv_adjoint_identity(self, size, cin, cout):
+        """<conv(u), v> == <u, conv^T(v)> for random shapes."""
+        rng = np.random.default_rng(size * 100 + cin * 10 + cout)
+        u = Tensor(rng.standard_normal((1, cin, size, size)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.standard_normal((cout, cin, 3, 3)).astype(np.float32))
+        v = rng.standard_normal((1, cout, size, size)).astype(np.float32)
+        out = conv2d(u, w, None, pad=1)
+        lhs = float((out.data * v).sum())
+        (out * Tensor(v)).sum().backward()
+        rhs = float((u.data * u.grad).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-3, abs=1e-3)
+
+
+class TestSoftmaxInvariants:
+    @given(st.integers(2, 12), st.floats(-50, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_translation_invariance(self, n, shift):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal((3, n)).astype(np.float32)
+        a = softmax(Tensor(x)).data
+        b = softmax(Tensor(x + np.float32(shift))).data
+        np.testing.assert_allclose(a, b, rtol=1e-4, atol=1e-6)
+
+    @given(st.integers(2, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_gradient_rows_sum_to_zero(self, n):
+        """Softmax outputs sum to 1, so any upstream gradient's projection
+        onto the constant direction vanishes."""
+        rng = np.random.default_rng(n + 50)
+        x = Tensor(rng.standard_normal((2, n)).astype(np.float32), requires_grad=True)
+        w = Tensor(rng.standard_normal((2, n)).astype(np.float32))
+        (softmax(x) * w).sum().backward()
+        np.testing.assert_allclose(x.grad.sum(axis=-1), 0.0, atol=1e-5)
+
+
+class TestShapeRoundtrips:
+    @given(st.permutations([0, 1, 2, 3]))
+    @settings(max_examples=24, deadline=None)
+    def test_permute_inverse(self, perm):
+        rng = np.random.default_rng(sum(p * 10**i for i, p in enumerate(perm)))
+        x = Tensor(rng.standard_normal((2, 3, 4, 5)).astype(np.float32),
+                   requires_grad=True)
+        inverse = list(np.argsort(perm))
+        y = x.permute(*perm).permute(*inverse)
+        np.testing.assert_array_equal(y.data, x.data)
+        (y * y).sum().backward()
+        np.testing.assert_allclose(x.grad, 2 * x.data, rtol=1e-5)
+
+
+class TestBilinearInvariants:
+    @given(st.integers(2, 8), st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_partition_of_unity(self, h, w, factor):
+        """Upsampling a constant field yields exactly that constant: the
+        interpolation weights sum to one everywhere."""
+        x = Tensor(np.full((1, 1, h, w), 2.5, dtype=np.float32))
+        out = bilinear_upsample(x, h * factor, w * factor)
+        np.testing.assert_allclose(out.data, 2.5, rtol=1e-6)
+
+    @given(st.integers(2, 8), st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_range_preservation(self, size, factor):
+        """Bilinear interpolation never over/undershoots the input range."""
+        rng = np.random.default_rng(size * 10 + factor)
+        x = rng.standard_normal((1, 1, size, size)).astype(np.float32)
+        out = bilinear_upsample(Tensor(x), size * factor, size * factor).data
+        assert out.max() <= x.max() + 1e-5
+        assert out.min() >= x.min() - 1e-5
