@@ -15,9 +15,15 @@ import numpy as np
 
 from repro.core import ModelConfig, Reslim
 from repro.data import DatasetSpec, DownscalingDataset, Grid, year_split
+from repro.testing import check_golden
 from repro.train import TrainConfig, Trainer, evaluate_downscaling, predict_dataset
 
 RESULTS_DIR = Path(__file__).parent / "results"
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Tables are mostly modelled/measured timings, so the default golden
+#: tolerance is wide; pass a tighter ``golden_rtol`` for pure-math tables.
+GOLDEN_RTOL = 0.5
 
 #: scaled-down stand-ins for the paper's model sizes: same depth/head
 #: structure as the 9.5M and 126M configs, width reduced to train on CPU.
@@ -37,13 +43,23 @@ VARIABLE_NAMES = ["t2m", "tmin", "total_precipitation"]
 _cache: dict[str, tuple] = {}
 
 
-def write_table(name: str, lines: list[str]) -> Path:
-    """Persist a rendered benchmark table and echo it to stdout."""
+def write_table(name: str, lines: list[str], golden_rtol: float = GOLDEN_RTOL) -> Path:
+    """Persist a rendered benchmark table, echo it, and regression-check it.
+
+    The table is compared against ``benchmarks/golden/{name}.golden``
+    (created on first run): the text layout must match exactly and every
+    embedded number must stay within ``golden_rtol`` of its golden value.
+    Re-baseline intentional changes with ``--update-golden`` or
+    ``REPRO_UPDATE_GOLDEN=1``.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     path = RESULTS_DIR / f"{name}.txt"
     text = "\n".join(lines) + "\n"
     path.write_text(text)
     print("\n" + text)
+    status = check_golden(name, text, GOLDEN_DIR, rtol=golden_rtol)
+    if status != "checked":
+        print(f"[golden] {name}: {status} {GOLDEN_DIR / (name + '.golden')}")
     return path
 
 

@@ -22,10 +22,16 @@ Subpackages
     R², RMSE, quantile RMSE, SSIM, PSNR, radial power spectra.
 ``repro.train``
     Trainer, inference runners, FLOP profiler, checkpointing.
+``repro.testing``
+    The verification layer: gradient checking, parallel-equivalence
+    oracles, op fuzzing, collective conformance, golden files.
 """
 
 __version__ = "0.1.0"
 
-from . import core, data, distributed, evals, nn, tensor, train  # noqa: F401
+from . import core, data, distributed, evals, nn, tensor, testing, train  # noqa: F401
 
-__all__ = ["core", "data", "distributed", "evals", "nn", "tensor", "train", "__version__"]
+__all__ = [
+    "core", "data", "distributed", "evals", "nn", "tensor", "testing", "train",
+    "__version__",
+]

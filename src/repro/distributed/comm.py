@@ -82,6 +82,7 @@ class ProcessGroup:
             raise ValueError(f"unsupported op {op!r}")
         p = self.size
         if p == 1:
+            self.stats.record("all_reduce", 0.0)
             return [buffers[0].copy()]
         flat = [b.reshape(-1).astype(np.float32).copy() for b in buffers]
         n = flat[0].size

@@ -1,0 +1,387 @@
+"""Parallel-equivalence oracle.
+
+ORBIT-2's parallelisms are only worth their communication savings if they
+compute the *same thing* as single-rank execution.  This module turns
+that claim into a callable check: :func:`check_parallel_equivalence` runs
+a tiny Reslim (or the strategy's natural micro-workload) under a
+single-rank reference path and under one of the simulated-cluster
+engines, then compares outputs, gradients, and post-SGD-step parameters.
+
+Exactness tiers (recorded per comparison in the returned report):
+
+* **bit-for-bit** — byte-identical arrays.  Holds wherever no collective
+  reorders a floating-point reduction: every strategy at ``world == 1``,
+  and FSDP at every world size (its reduce-scatter accumulates in
+  float64, and a mean of identical contributions is exact).
+* **tolerance-bounded** — ring all-reduce chunks reductions in rank
+  order, so DDP/TP/TILES at ``world > 1`` agree only to float32 rounding;
+  Hybrid-OP's reference intentionally runs in float64, so it is
+  tolerance-bounded even serially.
+
+Any disagreement beyond the strategy's tolerance raises
+:class:`EquivalenceFailure`; the report is for inspection and for tests
+that want to *assert* bit-exactness where it is guaranteed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core import ModelConfig, Reslim, TiledDownscaler
+from ..core.tiles import extract_tile, make_tiles
+from ..distributed import (
+    DistributedDataParallel,
+    FSDPEngine,
+    HybridOpChain,
+    TensorParallelMLP,
+    TilesSequenceParallel,
+    UlyssesAttention,
+    VirtualCluster,
+    flatten_grads,
+)
+from ..distributed.fsdp import unshard_arrays
+from ..distributed.ulysses import merge_sequence, split_sequence
+from ..tensor import Tensor
+
+__all__ = [
+    "PARALLELISMS",
+    "Comparison",
+    "EquivalenceReport",
+    "EquivalenceFailure",
+    "check_parallel_equivalence",
+    "oracle_config",
+]
+
+#: Every strategy the oracle knows how to drive.
+PARALLELISMS: tuple[str, ...] = ("ddp", "fsdp", "tp", "ulysses", "hybrid_op", "tiles")
+
+#: (rtol, atol) per strategy — float32 ring-reduction rounding for most;
+#: Hybrid-OP compares against a float64 reference so it needs headroom.
+_TOLERANCES: dict[str, tuple[float, float]] = {
+    "ddp": (1e-4, 1e-5),
+    "fsdp": (1e-4, 1e-5),
+    "tp": (1e-4, 1e-4),
+    "ulysses": (1e-4, 1e-5),
+    "hybrid_op": (1e-3, 1e-4),
+    "tiles": (1e-4, 1e-5),
+}
+
+
+class EquivalenceFailure(AssertionError):
+    """A parallel execution disagreed with its single-rank reference."""
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One quantity compared between parallel and reference execution."""
+
+    quantity: str          # 'output' | 'gradients' | 'params'
+    max_abs_err: float
+    bit_exact: bool
+
+    def __str__(self) -> str:
+        tag = "bit-exact" if self.bit_exact else f"max_abs_err={self.max_abs_err:.3g}"
+        return f"{self.quantity}: {tag}"
+
+
+@dataclass
+class EquivalenceReport:
+    """Everything one oracle run measured."""
+
+    strategy: str
+    world: int
+    comparisons: list[Comparison] = field(default_factory=list)
+    notes: str = ""
+
+    @property
+    def bit_exact(self) -> bool:
+        """True when every compared quantity matched byte-for-byte."""
+        return all(c.bit_exact for c in self.comparisons)
+
+    def comparison(self, quantity: str) -> Comparison:
+        for c in self.comparisons:
+            if c.quantity == quantity:
+                return c
+        raise KeyError(f"no {quantity!r} comparison in report")
+
+    def summary(self) -> str:
+        body = "; ".join(str(c) for c in self.comparisons)
+        return f"{self.strategy}@world={self.world}: {body}"
+
+
+def oracle_config() -> ModelConfig:
+    """The tiny Reslim config every oracle run shares.
+
+    ``embed_dim=16, num_heads=8`` keeps head count and the 4x MLP hidden
+    width (64) divisible by every world size up to 8, so one config
+    serves the whole {1, 2, 4, 8} x strategy matrix.
+    """
+    return ModelConfig("oracle-tiny", embed_dim=16, depth=1, num_heads=8)
+
+
+def _mse(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def _make_model(config: ModelConfig, seed: int) -> Reslim:
+    return Reslim(config, in_channels=2, out_channels=1, factor=2,
+                  max_tokens=256, rng=np.random.default_rng(seed))
+
+
+def _sgd(model, lr: float) -> None:
+    for p in model.parameters():
+        if p.grad is not None:
+            p.data -= lr * p.grad
+
+
+def _compare(quantity: str, actual: np.ndarray, expected: np.ndarray,
+             rtol: float, atol: float, context: str) -> Comparison:
+    actual = np.asarray(actual)
+    expected = np.asarray(expected)
+    if actual.shape != expected.shape:
+        raise EquivalenceFailure(
+            f"{context}: {quantity} shape {actual.shape} != reference {expected.shape}")
+    err = np.abs(actual.astype(np.float64) - expected.astype(np.float64))
+    bound = atol + rtol * np.abs(expected.astype(np.float64))
+    if np.any(err > bound):
+        worst = np.unravel_index(int(np.argmax(err)), err.shape)
+        raise EquivalenceFailure(
+            f"{context}: {quantity} diverged — {int(np.sum(err > bound))} elements "
+            f"beyond rtol={rtol} atol={atol}; worst at {list(worst)}: "
+            f"parallel={actual[worst]:.6g} reference={expected[worst]:.6g}")
+    return Comparison(quantity, float(err.max()) if err.size else 0.0,
+                      bool(np.array_equal(actual, expected)))
+
+
+# --------------------------------------------------------------------- #
+# per-strategy runners
+# --------------------------------------------------------------------- #
+def _run_ddp(world, config, seed, lr, rtol, atol):
+    rng = np.random.default_rng(seed)
+    batch = int(np.lcm(8, world))
+    x = rng.standard_normal((batch, 2, 8, 8)).astype(np.float32)
+    y = rng.standard_normal((batch, 1, 16, 16)).astype(np.float32)
+
+    ref = _make_model(config, seed)
+    ref_out = ref(Tensor(x))
+    loss = _mse(ref_out, Tensor(y))
+    loss.backward()
+    ref_grads = flatten_grads(ref)
+    _sgd(ref, lr)
+    ref_params = flatten_params(ref)
+
+    # deliberately diverse init seeds: DDP must broadcast rank 0's weights
+    replicas = [_make_model(config, seed if r == 0 else seed + 100 + r)
+                for r in range(world)]
+    group = VirtualCluster(world).world_group()
+    ddp = DistributedDataParallel(replicas, group, _mse)
+    # per-rank forwards on the batch shards, before the step mutates grads
+    shard_outs = [rep(Tensor(xs)).data
+                  for rep, xs in zip(replicas, np.array_split(x, world))]
+    ddp.step_gradients(x, y)
+    ctx = f"ddp@world={world}"
+    comparisons = [
+        _compare("output", np.concatenate(shard_outs), ref_out.data,
+                 rtol, atol, ctx),
+        _compare("gradients", flatten_grads(replicas[0]), ref_grads,
+                 rtol, atol, ctx),
+    ]
+    for rep in replicas:
+        _sgd(rep, lr)
+    comparisons.append(_compare("params", flatten_params(replicas[0]), ref_params,
+                                rtol, atol, ctx))
+    note = "gradients averaged by ring all-reduce; float32 chunk order"
+    return comparisons, note
+
+
+def flatten_params(model) -> np.ndarray:
+    """Concatenate all parameters into one flat float32 vector."""
+    return np.concatenate([p.data.reshape(-1) for p in model.parameters()]).astype(np.float32)
+
+
+def _run_fsdp(world, config, seed, lr, rtol, atol):
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((4, 2, 8, 8)).astype(np.float32)
+    y = rng.standard_normal((4, 1, 16, 16)).astype(np.float32)
+
+    ref = _make_model(config, seed)
+    ref_out = ref(Tensor(x))
+    loss = _mse(ref_out, Tensor(y))
+    loss.backward()
+    ref_grads = {
+        n: (p.grad.copy() if p.grad is not None else np.zeros_like(p.data))
+        for n, p in ref.named_parameters()
+    }
+    _sgd(ref, lr)
+    ref_params = {n: p.data.copy() for n, p in ref.named_parameters()}
+
+    net = _make_model(config, seed)
+    group = VirtualCluster(world).world_group()
+    engine = FSDPEngine(net, group)
+    engine.gather_all()
+    net.zero_grad()
+    out = net(Tensor(x))
+    _mse(out, Tensor(y)).backward()
+    grad_shards = engine.reduce_scatter_grads()
+
+    ctx = f"fsdp@world={world}"
+    comparisons = [_compare("output", out.data, ref_out.data, rtol, atol, ctx)]
+    # reassemble each parameter's gradient from its per-rank shards
+    max_err, exact = 0.0, True
+    for name, g_ref in ref_grads.items():
+        shards = [grad_shards[r][name] for r in range(world)]
+        g = unshard_arrays(shards, g_ref.shape)
+        c = _compare(f"gradients[{name}]", g, g_ref, rtol, atol, ctx)
+        max_err, exact = max(max_err, c.max_abs_err), exact and c.bit_exact
+    comparisons.append(Comparison("gradients", max_err, exact))
+
+    engine.apply_sharded_update(grad_shards, lr)
+    max_err, exact = 0.0, True
+    for name, p in net.named_parameters():
+        c = _compare(f"params[{name}]", p.data, ref_params[name], rtol, atol, ctx)
+        max_err, exact = max(max_err, c.max_abs_err), exact and c.bit_exact
+    comparisons.append(Comparison("params", max_err, exact))
+    note = "reduce-scatter accumulates in float64; identical contributions → exact"
+    return comparisons, note
+
+
+def _run_tp(world, config, seed, lr, rtol, atol):
+    rng = np.random.default_rng(seed)
+    d = config.embed_dim
+    hidden = int(config.mlp_ratio * d)
+    w1 = rng.standard_normal((hidden, d)).astype(np.float32) * 0.3
+    b1 = rng.standard_normal(hidden).astype(np.float32)
+    w2 = rng.standard_normal((d, hidden)).astype(np.float32) * 0.3
+    b2 = rng.standard_normal(d).astype(np.float32)
+    x = rng.standard_normal((5, d)).astype(np.float32)
+
+    group = VirtualCluster(world).world_group()
+    mlp = TensorParallelMLP(w1, b1, w2, b2, group)
+    out = mlp.forward(x)
+    ref = TensorParallelMLP.reference(x, w1, b1, w2, b2)
+    comparisons = [_compare("output", out, ref, rtol, atol, f"tp@world={world}")]
+    note = "forward-only engine: one all-reduce of row-parallel partials"
+    return comparisons, note
+
+
+def _run_ulysses(world, config, seed, lr, rtol, atol):
+    rng = np.random.default_rng(seed)
+    heads = config.num_heads
+    head_dim = config.embed_dim // heads
+    seq = 16
+    q, k, v = (rng.standard_normal((seq, heads, head_dim)).astype(np.float32)
+               for _ in range(3))
+
+    group = VirtualCluster(world).world_group()
+    ul = UlyssesAttention(group, num_heads=heads)
+    out_shards = ul.forward(split_sequence(q, world), split_sequence(k, world),
+                            split_sequence(v, world))
+    out = merge_sequence(out_shards)
+    ref = ul.reference(q, k, v)
+    comparisons = [_compare("output", out, ref, rtol, atol,
+                            f"ulysses@world={world}")]
+    note = "per-head attention is rank-local; all-to-alls only permute data"
+    return comparisons, note
+
+
+def _run_hybrid_op(world, config, seed, lr, rtol, atol):
+    rng = np.random.default_rng(seed)
+    d = config.embed_dim
+    hidden = int(config.mlp_ratio * d)
+    dims = [d, hidden, d, hidden, d]
+    weights = [rng.standard_normal((dims[i + 1], dims[i])).astype(np.float32) * 0.3
+               for i in range(len(dims) - 1)]
+    x = rng.standard_normal((3, d)).astype(np.float32)
+
+    group = VirtualCluster(world).world_group()
+    chain = HybridOpChain(weights, group)
+    comparisons = [_compare("output", chain.forward(x), chain.reference(x),
+                            rtol, atol, f"hybrid_op@world={world}")]
+    note = "reference runs in float64, so agreement is tolerance-bounded by design"
+    return comparisons, note
+
+
+def _run_tiles(world, config, seed, lr, rtol, atol):
+    rng = np.random.default_rng(seed)
+    halo, factor = 2, 2
+    x = rng.standard_normal((1, 2, 16, 16)).astype(np.float32)
+    y = rng.standard_normal((1, 1, 32, 32)).astype(np.float32)
+
+    ref = _make_model(config, seed)
+    serial_out = TiledDownscaler(ref, n_tiles=world, halo=halo, factor=factor)(Tensor(x))
+
+    # serial reference for the gradient step: same per-tile loop on ONE
+    # model, averaging tile gradients in float64 (mirrors the all-reduce)
+    specs = make_tiles(16, 16, world, halo)
+    tile_grads = []
+    for spec in specs:
+        ref.zero_grad()
+        out = ref(extract_tile(Tensor(x), spec))
+        top, left = (spec.y0 - spec.hy0) * factor, (spec.x0 - spec.hx0) * factor
+        ch, cw = spec.core_shape
+        core = out[:, :, top:top + ch * factor, left:left + cw * factor]
+        tile_target = Tensor(y[:, :, spec.y0 * factor:spec.y1 * factor,
+                               spec.x0 * factor:spec.x1 * factor])
+        _mse(core, tile_target).backward()
+        tile_grads.append(flatten_grads(ref).astype(np.float64))
+    ref_grads = np.mean(tile_grads, axis=0).astype(np.float32)
+    offset = 0
+    for p in ref.parameters():
+        n = p.data.size
+        p.data -= lr * ref_grads[offset:offset + n].reshape(p.data.shape)
+        offset += n
+    ref_params = flatten_params(ref)
+
+    replicas = [_make_model(config, seed if r == 0 else seed + 100 + r)
+                for r in range(world)]
+    group = VirtualCluster(world).world_group()
+    tsp = TilesSequenceParallel(replicas, group, halo=halo, factor=factor)
+    ctx = f"tiles@world={world}"
+    comparisons = [_compare("output", tsp.forward(x), serial_out.data,
+                            rtol, atol, ctx)]
+    tsp.step_gradients(x, y, _mse)
+    comparisons.append(_compare("gradients", flatten_grads(replicas[0]),
+                                ref_grads, rtol, atol, ctx))
+    for rep in replicas:
+        _sgd(rep, lr)
+    comparisons.append(_compare("params", flatten_params(replicas[0]),
+                                ref_params, rtol, atol, ctx))
+    note = "reference is the serial TiledDownscaler (same tiling, one rank)"
+    return comparisons, note
+
+
+_RUNNERS = {
+    "ddp": _run_ddp,
+    "fsdp": _run_fsdp,
+    "tp": _run_tp,
+    "ulysses": _run_ulysses,
+    "hybrid_op": _run_hybrid_op,
+    "tiles": _run_tiles,
+}
+
+
+def check_parallel_equivalence(strategy: str, world: int,
+                               config: ModelConfig | None = None,
+                               seed: int = 0, lr: float = 0.05,
+                               rtol: float | None = None,
+                               atol: float | None = None) -> EquivalenceReport:
+    """Run one strategy at one world size and compare against single-rank.
+
+    Raises :class:`EquivalenceFailure` on any out-of-tolerance element;
+    returns an :class:`EquivalenceReport` whose per-quantity
+    ``bit_exact`` flags record where agreement was byte-identical.
+    """
+    if strategy not in _RUNNERS:
+        raise ValueError(f"unknown strategy {strategy!r}; known: {sorted(_RUNNERS)}")
+    if world < 1:
+        raise ValueError("world must be >= 1")
+    config = config or oracle_config()
+    d_rtol, d_atol = _TOLERANCES[strategy]
+    rtol = d_rtol if rtol is None else rtol
+    atol = d_atol if atol is None else atol
+    comparisons, note = _RUNNERS[strategy](world, config, seed, lr, rtol, atol)
+    return EquivalenceReport(strategy=strategy, world=world,
+                             comparisons=comparisons, notes=note)

@@ -1,0 +1,105 @@
+"""Golden-file regression harness.
+
+Benchmark tables under ``benchmarks/results/`` used to be write-only
+logs: a regression in a modelled speedup or an eval metric changed the
+numbers and nobody noticed.  :func:`check_golden` turns any rendered text
+artifact into a regression check:
+
+* first run **creates** the golden copy and passes;
+* later runs compare — the non-numeric *structure* (headers, labels,
+  row layout) must match exactly, and every embedded number must agree
+  with its golden counterpart within ``rtol``/``atol``;
+* ``--update-golden`` on the command line (or ``REPRO_UPDATE_GOLDEN=1``
+  in the environment) rewrites the golden copy instead of comparing.
+
+Tolerances default to *loose* (``rtol=0.5``) because benchmark tables
+embed wall-clock timings that legitimately vary run to run; callers
+checking pure-math artifacts should pass tight tolerances explicitly.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+from pathlib import Path
+
+__all__ = [
+    "GoldenMismatch",
+    "extract_numbers",
+    "structure_of",
+    "update_requested",
+    "check_golden",
+]
+
+_NUMBER = re.compile(r"[-+]?\d+\.?\d*(?:[eE][-+]?\d+)?")
+_PLACEHOLDER = "<num>"
+
+
+class GoldenMismatch(AssertionError):
+    """A rendered artifact disagreed with its golden copy."""
+
+
+def extract_numbers(text: str) -> list[float]:
+    """All numeric literals in the text, in reading order."""
+    return [float(m) for m in _NUMBER.findall(text)]
+
+
+def structure_of(text: str) -> str:
+    """The text with every numeric literal replaced by a placeholder.
+
+    Two artifacts with the same structure differ only in their numbers —
+    which is exactly what tolerance comparison is for.
+    """
+    return _NUMBER.sub(_PLACEHOLDER, text)
+
+
+def update_requested(argv: list[str] | None = None) -> bool:
+    """True when the caller asked goldens to be rewritten, via the
+    ``--update-golden`` flag or ``REPRO_UPDATE_GOLDEN=1``."""
+    argv = sys.argv if argv is None else argv
+    if "--update-golden" in argv:
+        return True
+    return os.environ.get("REPRO_UPDATE_GOLDEN", "") not in ("", "0")
+
+
+def check_golden(name: str, text: str, golden_dir: str | Path,
+                 rtol: float = 0.5, atol: float = 1e-9,
+                 argv: list[str] | None = None) -> str:
+    """Compare rendered ``text`` against ``golden_dir/name.golden``.
+
+    Returns one of ``'created'`` (no golden existed — it does now),
+    ``'updated'`` (rewrite was requested), or ``'checked'`` (compared and
+    passed).  Raises :class:`GoldenMismatch` on structural divergence, a
+    changed number count, or any number outside
+    ``atol + rtol * |golden|``.
+    """
+    golden_dir = Path(golden_dir)
+    golden_path = golden_dir / f"{name}.golden"
+    if update_requested(argv):
+        golden_dir.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(text)
+        return "updated"
+    if not golden_path.exists():
+        golden_dir.mkdir(parents=True, exist_ok=True)
+        golden_path.write_text(text)
+        return "created"
+
+    golden_text = golden_path.read_text()
+    if structure_of(text) != structure_of(golden_text):
+        raise GoldenMismatch(
+            f"{name}: artifact structure changed relative to {golden_path} "
+            f"(labels/layout differ, not just numbers); rerun with "
+            f"--update-golden if intentional)")
+    new = extract_numbers(text)
+    old = extract_numbers(golden_text)
+    if len(new) != len(old):  # unreachable given equal structure; belt+braces
+        raise GoldenMismatch(
+            f"{name}: {len(new)} numbers vs {len(old)} in the golden copy")
+    for i, (a, b) in enumerate(zip(new, old)):
+        if abs(a - b) > atol + rtol * abs(b):
+            raise GoldenMismatch(
+                f"{name}: number #{i} drifted: {a!r} vs golden {b!r} "
+                f"(rtol={rtol}, atol={atol}); rerun with --update-golden "
+                f"if intentional")
+    return "checked"

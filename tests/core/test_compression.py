@@ -6,7 +6,7 @@ import pytest
 from repro.core import QuadLeaf, QuadTreeCompressor, build_quadtree, uniform_token_count
 from repro.tensor import Tensor
 
-from tests.gradcheck import check_gradient
+from repro.testing import check_gradient
 
 
 def _feature_with_hotspot(h=32, w=32):

@@ -7,7 +7,7 @@ from repro.core import BayesianDownscalingLoss, latitude_weighted_mse, mrf_tv_pr
 from repro.data import Grid, latitude_weights
 from repro.tensor import Tensor
 
-from tests.gradcheck import check_gradient
+from repro.testing import check_gradient
 
 RNG = np.random.default_rng(31)
 

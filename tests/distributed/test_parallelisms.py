@@ -2,7 +2,11 @@
 
 The central invariants: every parallel execution must match its
 single-device reference bit-for-bit or to float32 tolerance, and the
-communication volumes must follow the canonical formulas.
+communication volumes must follow the canonical formulas.  The
+match-the-reference checks all run through the shared oracle in
+``repro.testing.equivalence`` (see TestEquivalenceOracle); what stays
+here are the engine-specific contracts — collective counts, sharding
+arithmetic, and input validation.
 """
 
 import numpy as np
@@ -18,7 +22,6 @@ from repro.distributed import (
     RowParallelLinear,
     TensorParallelMLP,
     TilesSequenceParallel,
-    VirtualCluster,
     flatten_grads,
     hybrid_chain_volume,
     naive_sharded_chain_volume,
@@ -31,9 +34,47 @@ from repro.distributed import (
 )
 from repro.nn import Linear, Module
 from repro.tensor import Tensor
+from repro.testing import PARALLELISMS, check_parallel_equivalence
 
 RNG = np.random.default_rng(61)
 TINY = ModelConfig("tiny", embed_dim=16, depth=1, num_heads=2)
+
+
+class TestEquivalenceOracle:
+    """The tentpole invariant, one oracle call per (strategy, world).
+
+    Replaces the former per-engine one-off reference checks: the oracle
+    compares outputs — and, for the training engines, gradients and
+    post-SGD parameters — against single-rank execution on a tiny Reslim
+    config, and records where agreement is bit-for-bit.
+    """
+
+    @pytest.mark.parametrize("world", [1, 2, 4, 8])
+    @pytest.mark.parametrize("strategy", PARALLELISMS)
+    def test_matches_single_rank(self, strategy, world):
+        report = check_parallel_equivalence(strategy, world)
+        assert report.comparisons, "oracle must compare at least one quantity"
+        # where no collective reorders a reduction, demand byte-identity:
+        # FSDP reduces in float64 (mean of identical contributions is
+        # exact) and Ulysses' all-to-alls only permute data.
+        if strategy in ("fsdp", "ulysses"):
+            assert report.bit_exact, report.summary()
+        # DDP/TILES forwards never cross a reduction — outputs are exact
+        # at every world; their gradients go through the float32 ring.
+        if strategy in ("ddp", "tiles"):
+            assert report.comparison("output").bit_exact, report.summary()
+        # at world=1 every collective degenerates to a copy; only the
+        # strategies whose reference re-runs the same float32 code path
+        # can be byte-identical (TP's BLAS path and Hybrid-OP's float64
+        # reference differ by design, tolerance-bounded).
+        if world == 1 and strategy in ("ddp", "fsdp", "ulysses", "tiles"):
+            assert report.bit_exact, report.summary()
+
+    def test_training_engines_compare_grads_and_params(self):
+        for strategy in ("ddp", "fsdp", "tiles"):
+            report = check_parallel_equivalence(strategy, 2)
+            quantities = {c.quantity for c in report.comparisons}
+            assert quantities == {"output", "gradients", "params"}
 
 
 def _mse(pred, target):
@@ -53,23 +94,8 @@ class _SmallNet(Module):
 
 
 class TestDDP:
-    def test_gradients_match_single_process(self):
-        """THE DDP invariant: averaged shard gradients == full-batch grads."""
-        world = 4
-        x = RNG.standard_normal((8, 6)).astype(np.float32)
-        y = RNG.standard_normal((8, 2)).astype(np.float32)
-
-        reference = _SmallNet(seed=1)
-        loss = _mse(reference(Tensor(x)), Tensor(y))
-        loss.backward()
-        ref_grads = flatten_grads(reference)
-
-        replicas = [_SmallNet(seed=1) for _ in range(world)]
-        group = VirtualCluster(world).world_group()
-        ddp = DistributedDataParallel(replicas, group, _mse)
-        ddp.step_gradients(x, y)
-        for rep in replicas:
-            np.testing.assert_allclose(flatten_grads(rep), ref_grads, rtol=1e-4, atol=1e-5)
+    # the averaged-gradients-match-full-batch invariant is covered by
+    # TestEquivalenceOracle; these tests pin DDP's engine contracts
 
     def test_replicas_synchronized_after_init(self):
         replicas = [_SmallNet(seed=i) for i in range(3)]
@@ -141,33 +167,6 @@ class TestFSDP:
         for name, arr in net.state_dict().items():
             np.testing.assert_allclose(arr, original[name], atol=1e-6)
 
-    def test_forward_backward_and_sharded_sgd_matches_reference(self):
-        """Full FSDP step == plain SGD step on the unsharded model."""
-        x = RNG.standard_normal((4, 6)).astype(np.float32)
-        y = RNG.standard_normal((4, 2)).astype(np.float32)
-
-        ref = _SmallNet(seed=2)
-        loss = _mse(ref(Tensor(x)), Tensor(y))
-        loss.backward()
-        lr = 0.1
-        expected = {n: p.data - lr * p.grad for n, p in ref.named_parameters()}
-
-        net = _SmallNet(seed=2)
-        engine = FSDPEngine(net, ProcessGroup(list(range(4))))
-
-        def run(model):
-            model.zero_grad()
-            l = _mse(model(Tensor(x)), Tensor(y))
-            l.backward()
-            return float(l.data)
-
-        engine.gather_all()
-        run(net)
-        grad_shards = engine.reduce_scatter_grads()
-        engine.apply_sharded_update(grad_shards, lr=lr)
-        for name, p in net.named_parameters():
-            np.testing.assert_allclose(p.data, expected[name], rtol=1e-4, atol=1e-5)
-
     def test_unknown_layer_rejected(self):
         engine = FSDPEngine(_SmallNet(), ProcessGroup([0, 1]))
         with pytest.raises(KeyError):
@@ -199,20 +198,6 @@ class TestTensorParallel:
         out = RowParallelLinear(w, b, g).forward(x_shards)
         np.testing.assert_allclose(out, x @ w.T + b, rtol=1e-4, atol=1e-5)
 
-    @pytest.mark.parametrize("world", [2, 4])
-    def test_mlp_matches_reference(self, world):
-        g = ProcessGroup(list(range(world)))
-        w1 = RNG.standard_normal((16, 8)).astype(np.float32)
-        b1 = RNG.standard_normal(16).astype(np.float32)
-        w2 = RNG.standard_normal((8, 16)).astype(np.float32)
-        b2 = RNG.standard_normal(8).astype(np.float32)
-        x = RNG.standard_normal((5, 8)).astype(np.float32)
-        mlp = TensorParallelMLP(w1, b1, w2, b2, g)
-        np.testing.assert_allclose(
-            mlp.forward(x), TensorParallelMLP.reference(x, w1, b1, w2, b2),
-            rtol=1e-4, atol=1e-4,
-        )
-
     def test_exactly_one_allreduce_per_forward(self):
         g = ProcessGroup([0, 1])
         mlp = TensorParallelMLP(
@@ -240,15 +225,6 @@ class TestTensorParallel:
 
 
 class TestHybridOp:
-    def test_chain_matches_reference(self):
-        g = ProcessGroup(list(range(2)))
-        dims = [6, 8, 6, 4, 2]  # 4 weights → even-length chain
-        weights = [RNG.standard_normal((dims[i + 1], dims[i])).astype(np.float32) * 0.3
-                   for i in range(len(dims) - 1)]
-        chain = HybridOpChain(weights, g)
-        x = RNG.standard_normal((3, 6)).astype(np.float32)
-        np.testing.assert_allclose(chain.forward(x), chain.reference(x), rtol=1e-3, atol=1e-4)
-
     def test_one_allreduce_per_pair(self):
         g = ProcessGroup([0, 1])
         weights = [RNG.standard_normal((4, 4)).astype(np.float32) for _ in range(4)]
@@ -283,16 +259,6 @@ class TestHybridOp:
 class TestTilesSequenceParallel:
     def _model(self, seed=0):
         return Reslim(TINY, 2, 1, factor=2, max_tokens=256, rng=np.random.default_rng(seed))
-
-    def test_distributed_forward_matches_tiled_downscaler(self):
-        from repro.core import TiledDownscaler
-        world = 4
-        replicas = [self._model(seed=i) for i in range(world)]
-        tsp = TilesSequenceParallel(replicas, ProcessGroup(list(range(world))), halo=2, factor=2)
-        x = RNG.standard_normal((1, 2, 16, 16)).astype(np.float32)
-        out = tsp.forward(x)
-        serial = TiledDownscaler(replicas[0], n_tiles=world, halo=2, factor=2)(Tensor(x))
-        np.testing.assert_allclose(out, serial.data, rtol=1e-5, atol=1e-6)
 
     def test_gradient_averaging_synchronizes(self):
         world = 4

@@ -1,47 +1,25 @@
-"""Shared finite-difference gradient checking for autograd tests."""
+"""Thin re-export shim — the checker now lives in ``repro.testing.gradcheck``.
 
-from __future__ import annotations
+Kept so historical ``from tests.gradcheck import check_gradient`` imports
+keep working; new code should import from :mod:`repro.testing` directly.
+"""
 
-import numpy as np
+from repro.testing.gradcheck import (  # noqa: F401
+    ElementMismatch,
+    GradcheckFailure,
+    check_gradient,
+    check_gradients,
+    default_tolerances,
+    numerical_grad,
+    numerical_grad_multi,
+)
 
-from repro.tensor import Tensor
-
-
-def numerical_grad(fn, x: np.ndarray, eps: float = 1e-3) -> np.ndarray:
-    """Central-difference gradient of scalar-valued ``fn`` at ``x``.
-
-    ``fn`` takes a float64 array and returns a float scalar.  float64 is
-    used for the probe to keep the truncation error below the comparison
-    tolerance even though the engine computes in float32.
-    """
-    x = np.asarray(x, dtype=np.float64)
-    grad = np.zeros_like(x)
-    flat = x.reshape(-1)
-    gflat = grad.reshape(-1)
-    for i in range(flat.size):
-        orig = flat[i]
-        flat[i] = orig + eps
-        fp = fn(x)
-        flat[i] = orig - eps
-        fm = fn(x)
-        flat[i] = orig
-        gflat[i] = (fp - fm) / (2 * eps)
-    return grad
-
-
-def check_gradient(build_scalar, x0: np.ndarray, rtol: float = 2e-2, atol: float = 2e-3):
-    """Assert autograd gradient matches finite differences.
-
-    ``build_scalar`` maps a Tensor to a scalar Tensor.  Raises AssertionError
-    with a readable diff on mismatch.
-    """
-    t = Tensor(np.asarray(x0, dtype=np.float32), requires_grad=True)
-    out = build_scalar(t)
-    out.backward()
-    analytic = t.grad.astype(np.float64)
-
-    def f(arr):
-        return float(build_scalar(Tensor(arr.astype(np.float32))).data)
-
-    numeric = numerical_grad(f, x0)
-    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+__all__ = [
+    "ElementMismatch",
+    "GradcheckFailure",
+    "check_gradient",
+    "check_gradients",
+    "default_tolerances",
+    "numerical_grad",
+    "numerical_grad_multi",
+]

@@ -7,6 +7,7 @@ from hypothesis import strategies as st
 
 from repro.tensor import bf16_machine_eps, bf16_round, cast, is_bf16_representable
 from repro.tensor.dtypes import DTYPE_BF16, DTYPE_F32, validate_dtype
+from repro.testing import seeded_arrays
 
 
 class TestBf16Round:
@@ -57,6 +58,60 @@ class TestBf16Round:
         x = np.array([v], dtype=np.float32)
         out = bf16_round(x)
         assert abs(float(out[0]) - float(x[0])) <= bf16_machine_eps() * abs(float(x[0])) + 1e-40
+
+
+class TestBf16FuzzerProperties:
+    """Fuzzer-driven property tests: the seeded wide-dynamic-range arrays
+    from ``repro.testing.fuzz.seeded_arrays`` sweep the exponent range
+    instead of clustering near 1.0 like a plain normal draw."""
+
+    def test_round_trip_idempotence_across_exponent_range(self):
+        for x in seeded_arrays(seed=101, n=24, size=512):
+            once = bf16_round(x)
+            assert is_bf16_representable(once)
+            np.testing.assert_array_equal(bf16_round(once), once)
+
+    def test_relative_error_bound_across_exponent_range(self):
+        for x in seeded_arrays(seed=202, n=24, size=512):
+            out = bf16_round(x)
+            finite = np.isfinite(out)  # near-overflow values may round up to inf
+            err = np.abs(out[finite] - x[finite])
+            assert np.all(err <= bf16_machine_eps() * np.abs(x[finite]) + 1e-40)
+
+    def test_round_to_nearest_even_on_exact_ties(self):
+        """Construct exact midpoints 2^e * (1 + (2m+1)/256): halfway
+        between consecutive bf16 values 2^e*(1 + m/128) and
+        2^e*(1 + (m+1)/128).  RNE must pick whichever neighbour has an
+        even 7-bit mantissa — i.e. m even rounds DOWN, m odd rounds UP."""
+        rng = np.random.default_rng(303)
+        exponents = rng.integers(-20, 21, size=64)
+        mantissas = rng.integers(0, 128, size=64)  # m in [0, 127]
+        for e, m in zip(exponents, mantissas):
+            scale = float(np.exp2(float(e)))
+            tie = np.float32(scale * (1.0 + m / 128.0 + 1.0 / 256.0))
+            lo = np.float32(scale * (1.0 + m / 128.0))
+            hi = np.float32(scale * (1.0 + (m + 1) / 128.0))
+            out = float(bf16_round(np.array([tie]))[0])
+            expected = float(lo) if m % 2 == 0 else float(hi)
+            assert out == expected, (
+                f"tie 2^{e}*(1 + {m}/128 + 1/256): got {out}, "
+                f"expected {'down' if m % 2 == 0 else 'up'} to {expected}")
+
+    def test_overflow_to_inf(self):
+        """bf16's max finite is (2 - 2^-7)*2^127; float32 values that
+        round beyond it must overflow to inf, preserving sign."""
+        max_bf16 = float(np.float32((2.0 - 2.0**-7) * 2.0**127))
+        # halfway to the next (non-existent) bf16 step — rounds to inf
+        above = np.float32((2.0 - 2.0**-8 + 2.0**-9) * 2.0**127)
+        out = bf16_round(np.array([above, -above]))
+        assert out[0] == np.inf and out[1] == -np.inf
+        # at or below the max finite value, no overflow
+        at_max = bf16_round(np.array([max_bf16], dtype=np.float32))
+        assert np.isfinite(at_max[0]) and float(at_max[0]) == max_bf16
+
+    def test_float32_max_rounds_to_inf(self):
+        out = bf16_round(np.array([np.finfo(np.float32).max], dtype=np.float32))
+        assert out[0] == np.inf
 
 
 class TestCastPolicy:

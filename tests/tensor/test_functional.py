@@ -19,7 +19,7 @@ from repro.tensor import (
     softmax,
 )
 
-from tests.gradcheck import check_gradient
+from repro.testing import check_gradient
 
 RNG = np.random.default_rng(1)
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.tensor import Tensor, no_grad
 
-from tests.gradcheck import check_gradient
+from repro.testing import check_gradient
 
 RNG = np.random.default_rng(0)
 

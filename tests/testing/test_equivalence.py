@@ -1,0 +1,86 @@
+"""The equivalence oracle's own machinery (the full strategy x world
+matrix runs in tests/distributed/test_parallelisms.py)."""
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    EquivalenceFailure,
+    EquivalenceReport,
+    check_parallel_equivalence,
+    oracle_config,
+)
+from repro.testing.equivalence import Comparison, _compare
+
+
+class TestCompare:
+    def test_bit_exact_detection(self):
+        a = np.arange(4, dtype=np.float32)
+        c = _compare("output", a, a.copy(), 1e-6, 1e-7, "ctx")
+        assert c.bit_exact and c.max_abs_err == 0.0
+
+    def test_within_tolerance_not_bit_exact(self):
+        a = np.ones(4, dtype=np.float32)
+        b = a + 1e-6
+        c = _compare("output", b, a, 1e-4, 1e-5, "ctx")
+        assert not c.bit_exact
+        # 1 + 1e-6 lands on the nearest float32, ~9.5e-7 away
+        assert c.max_abs_err == pytest.approx(1e-6, rel=0.1)
+
+    def test_out_of_tolerance_raises_with_context(self):
+        a = np.zeros(3, dtype=np.float32)
+        b = np.array([0.0, 0.5, 0.0], dtype=np.float32)
+        with pytest.raises(EquivalenceFailure, match="myctx.*diverged"):
+            _compare("gradients", b, a, 1e-4, 1e-5, "myctx")
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(EquivalenceFailure, match="shape"):
+            _compare("output", np.zeros(3), np.zeros(4), 1e-4, 1e-5, "ctx")
+
+
+class TestReport:
+    def test_report_accessors(self):
+        r = EquivalenceReport("ddp", 2, [Comparison("output", 0.0, True),
+                                         Comparison("gradients", 1e-7, False)])
+        assert not r.bit_exact
+        assert r.comparison("output").bit_exact
+        with pytest.raises(KeyError):
+            r.comparison("nope")
+        assert "ddp@world=2" in r.summary()
+
+    def test_unknown_strategy_and_bad_world(self):
+        with pytest.raises(ValueError):
+            check_parallel_equivalence("zzz", 2)
+        with pytest.raises(ValueError):
+            check_parallel_equivalence("ddp", 0)
+
+
+class TestOracleConfig:
+    def test_divisibility_for_all_worlds(self):
+        """One config must serve every world size in {1, 2, 4, 8}."""
+        cfg = oracle_config()
+        hidden = int(cfg.mlp_ratio * cfg.embed_dim)
+        for world in (1, 2, 4, 8):
+            assert cfg.num_heads % world == 0
+            assert hidden % world == 0
+
+    def test_oracle_catches_planted_gradient_bug(self):
+        """Corrupt a replica's gradient after the all-reduce: the params
+        comparison must flag the divergence."""
+        from repro.testing import equivalence as eq
+
+        orig = eq.DistributedDataParallel.step_gradients
+
+        def corrupted(self, x, y):
+            out = orig(self, x, y)
+            for p in self.replicas[0].parameters():
+                if p.grad is not None:
+                    p.grad = p.grad + 0.1
+            return out
+
+        eq.DistributedDataParallel.step_gradients = corrupted
+        try:
+            with pytest.raises(EquivalenceFailure):
+                check_parallel_equivalence("ddp", 2)
+        finally:
+            eq.DistributedDataParallel.step_gradients = orig
