@@ -1,0 +1,264 @@
+"""Wall-clock benchmark of the autograd hot path (BENCH_engine.json).
+
+Times the three phases of a Reslim train step — forward, backward,
+optimizer — for a small and a medium configuration, plus per-op
+microbenchmarks of the fused kernels against their multi-node
+compositions.  Results are written to ``BENCH_engine.json`` at the repo
+root, seeding the perf trajectory.
+
+Two modes:
+
+* ``--record-baseline`` — measure the engine as-is and store the numbers
+  under ``benchmarks/results/BENCH_engine_prepr.json``.  Run once on the
+  pre-PR engine so later runs have an honest A/B reference.
+* default — measure the current engine, load the recorded baseline if
+  present, and emit both (plus speedups) to ``BENCH_engine.json``.
+
+Wall-clock varies machine to machine, so the *golden* regression gate for
+tier-1 is not this file: deterministic node/copy/allocation counts are
+checked by ``tests/tensor/test_engine_counts.py`` via the golden harness.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, Reslim
+from repro.nn import AdamW
+from repro.tensor import Tensor
+from repro.tensor import functional as F
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_engine_prepr.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+
+#: the two train-step workloads (config, in_ch, out_ch, factor, coarse hw, batch)
+TRAIN_CONFIGS = {
+    "small": (ModelConfig("hotpath-small", embed_dim=32, depth=2, num_heads=4),
+              2, 1, 2, (16, 16), 2),
+    "medium": (ModelConfig("hotpath-medium", embed_dim=64, depth=4, num_heads=8),
+               3, 2, 2, (32, 32), 2),
+}
+
+MICRO_SHAPE = (512, 256)   # (tokens, features) for the elementwise/rowwise ops
+MICRO_CLASSES = 64         # classes for softmax cross-entropy
+
+
+def _best_of(fn, repeats: int = 5, warmup: int = 2) -> float:
+    """Minimum wall-clock over ``repeats`` calls after ``warmup`` calls."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+# --------------------------------------------------------------------- #
+# train-step timing
+# --------------------------------------------------------------------- #
+def _mse(pred: Tensor, target: Tensor) -> Tensor:
+    diff = pred - target
+    return (diff * diff).mean()
+
+
+def time_train_step(key: str, repeats: int = 5) -> dict[str, float]:
+    """Phase timings (seconds) for one train step of the named config."""
+    config, in_ch, out_ch, factor, (h, w), batch = TRAIN_CONFIGS[key]
+    rng = np.random.default_rng(0)
+    model = Reslim(config, in_channels=in_ch, out_channels=out_ch,
+                   factor=factor, max_tokens=4096, rng=rng)
+    # flatten=True is what Trainer ships: one contiguous grad buffer and a
+    # single vectorised update (falls back gracefully on the pre-PR engine,
+    # whose AdamW has no flatten kwarg, when recording the baseline)
+    try:
+        opt = AdamW(model.parameters(), lr=1e-3, flatten=True)
+    except TypeError:
+        opt = AdamW(model.parameters(), lr=1e-3)
+    x = rng.standard_normal((batch, in_ch, h, w)).astype(np.float32)
+    y = rng.standard_normal((batch, out_ch, h * factor, w * factor)).astype(np.float32)
+    xt, yt = Tensor(x), Tensor(y)
+
+    state = {}
+
+    def fwd():
+        state["loss"] = _mse(model(xt), yt)
+
+    def bwd():
+        fwd()
+        state["loss"].backward()
+
+    def full():
+        opt.zero_grad()
+        fwd()
+        state["loss"].backward()
+        opt.step()
+
+    forward_s = _best_of(fwd, repeats)
+    fwd_bwd_s = _best_of(bwd, repeats)
+    step_s = _best_of(full, repeats)
+    opt.zero_grad()
+    bwd()
+
+    def optim_only():
+        opt.step()
+
+    optim_s = _best_of(optim_only, repeats)
+    return {
+        "forward_s": forward_s,
+        "backward_s": max(fwd_bwd_s - forward_s, 0.0),
+        "optim_s": optim_s,
+        "step_s": step_s,
+    }
+
+
+# --------------------------------------------------------------------- #
+# per-op microbenchmarks
+# --------------------------------------------------------------------- #
+def _fwd_bwd(build):
+    """Time one forward+backward of ``build(x) -> scalar Tensor``."""
+    def run():
+        build().backward()
+    return run
+
+
+def _micro_cases() -> dict[str, tuple]:
+    """(fused_fn, composed_fn) pairs; composed falls back to fused pre-PR."""
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(MICRO_SHAPE).astype(np.float32)
+    g = rng.standard_normal(MICRO_SHAPE[-1]).astype(np.float32)
+    b = rng.standard_normal(MICRO_SHAPE[-1]).astype(np.float32)
+    logits = rng.standard_normal((MICRO_SHAPE[0], MICRO_CLASSES)).astype(np.float32)
+    labels = rng.integers(0, MICRO_CLASSES, MICRO_SHAPE[0])
+
+    def tensor_inputs():
+        return (Tensor(x, requires_grad=True), Tensor(g, requires_grad=True),
+                Tensor(b, requires_grad=True))
+
+    gelu_c = getattr(F, "gelu_composed", F.gelu)
+    silu_c = getattr(F, "silu_composed", F.silu)
+
+    def layernorm_fused():
+        xt, gt, bt = tensor_inputs()
+        if hasattr(F, "layernorm"):
+            return F.layernorm(xt, gt, bt).sum()
+        return _layernorm_composed_expr(xt, gt, bt)
+
+    def _layernorm_composed_expr(xt, gt, bt):
+        mu = xt.mean(axis=-1, keepdims=True)
+        centered = xt - mu
+        var = (centered * centered).mean(axis=-1, keepdims=True)
+        return (centered * (var + 1e-5) ** -0.5 * gt + bt).sum()
+
+    def layernorm_composed():
+        xt, gt, bt = tensor_inputs()
+        return _layernorm_composed_expr(xt, gt, bt)
+
+    def xent_fused():
+        lt = Tensor(logits, requires_grad=True)
+        if hasattr(F, "softmax_cross_entropy"):
+            return F.softmax_cross_entropy(lt, labels)
+        return _xent_composed_expr(lt)
+
+    def _xent_composed_expr(lt):
+        logp = F.log_softmax(lt, axis=-1)
+        onehot = np.zeros(logits.shape, dtype=np.float32)
+        onehot[np.arange(labels.size), labels] = 1.0
+        return -(logp * Tensor(onehot)).sum() * (1.0 / labels.size)
+
+    def xent_composed():
+        return _xent_composed_expr(Tensor(logits, requires_grad=True))
+
+    return {
+        "gelu": (lambda: F.gelu(Tensor(x, requires_grad=True)).sum(),
+                 lambda: gelu_c(Tensor(x, requires_grad=True)).sum()),
+        "silu": (lambda: F.silu(Tensor(x, requires_grad=True)).sum(),
+                 lambda: silu_c(Tensor(x, requires_grad=True)).sum()),
+        "layernorm": (layernorm_fused, layernorm_composed),
+        "softmax_cross_entropy": (xent_fused, xent_composed),
+        "softmax": (lambda: F.softmax(Tensor(x, requires_grad=True), axis=-1).sum(),
+                    lambda: F.softmax(Tensor(x, requires_grad=True), axis=-1).sum()),
+    }
+
+
+def time_micro_ops(repeats: int = 20) -> dict[str, dict[str, float]]:
+    out = {}
+    for name, (fused, composed) in _micro_cases().items():
+        out[name] = {
+            "fused_fwd_bwd_s": _best_of(_fwd_bwd(fused), repeats),
+            "composed_fwd_bwd_s": _best_of(_fwd_bwd(composed), repeats),
+        }
+    return out
+
+
+# --------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------- #
+def measure() -> dict:
+    result = {
+        "train_step": {key: time_train_step(key) for key in TRAIN_CONFIGS},
+        "micro_ops": time_micro_ops(),
+    }
+    try:  # graph-node accounting only exists on the fused engine
+        from repro.tensor import graph_counters, reset_graph_counters
+
+        config_counts = {}
+        for key in TRAIN_CONFIGS:
+            config, in_ch, out_ch, factor, (h, w), batch = TRAIN_CONFIGS[key]
+            rng = np.random.default_rng(0)
+            model = Reslim(config, in_channels=in_ch, out_channels=out_ch,
+                           factor=factor, max_tokens=4096, rng=rng)
+            x = Tensor(rng.standard_normal((batch, in_ch, h, w)).astype(np.float32))
+            y = Tensor(rng.standard_normal(
+                (batch, out_ch, h * factor, w * factor)).astype(np.float32))
+            reset_graph_counters()
+            _mse(model(x), y).backward()
+            config_counts[key] = dict(graph_counters())
+        result["graph_counts"] = config_counts
+    except ImportError:
+        pass
+    return result
+
+
+def main(argv: list[str] | None = None) -> None:
+    argv = sys.argv[1:] if argv is None else argv
+    measured = measure()
+    if "--record-baseline" in argv:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        BASELINE_PATH.write_text(json.dumps(
+            {"schema": "bench_engine_hotpath/v1", "engine": "pre_pr", **measured},
+            indent=2))
+        print(f"recorded pre-PR baseline to {BASELINE_PATH}")
+        return
+
+    payload = {"schema": "bench_engine_hotpath/v1", "engine": "fused", **measured}
+    if BASELINE_PATH.exists():
+        baseline = json.loads(BASELINE_PATH.read_text())
+        payload["pre_pr"] = {k: baseline[k] for k in ("train_step", "micro_ops")
+                             if k in baseline}
+        speedups = {}
+        for key in TRAIN_CONFIGS:
+            old = baseline["train_step"][key]["step_s"]
+            new = measured["train_step"][key]["step_s"]
+            speedups[f"{key}_step"] = old / new if new > 0 else float("inf")
+        for op, t in measured["micro_ops"].items():
+            old = baseline["micro_ops"][op]["composed_fwd_bwd_s"]
+            new = t["fused_fwd_bwd_s"]
+            speedups[f"micro_{op}"] = old / new if new > 0 else float("inf")
+        payload["speedup_vs_pre_pr"] = speedups
+    OUTPUT_PATH.write_text(json.dumps(payload, indent=2))
+    print(json.dumps(payload.get("speedup_vs_pre_pr", payload["train_step"]),
+                     indent=2))
+    print(f"wrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

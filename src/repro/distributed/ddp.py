@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..nn import Module
+from ..nn.flat import FlatParamBuffer
 from ..tensor import Tensor
 from .comm import ProcessGroup
 
@@ -75,6 +76,10 @@ class DistributedDataParallel:
         for rep in replicas[1:]:
             rep.load_state_dict(state)
         self.group.stats.record("broadcast", sum(v.nbytes for v in state.values()))
+        # one contiguous grad bucket per replica: the backward pass
+        # accumulates into it in place and the all-reduce sends it whole,
+        # so no per-parameter flatten/unflatten copies happen per step
+        self.buffers = [FlatParamBuffer(list(rep.parameters())) for rep in replicas]
 
     def step_gradients(self, inputs: np.ndarray, targets: np.ndarray) -> list[float]:
         """One forward/backward on a scattered batch + gradient all-reduce.
@@ -84,15 +89,16 @@ class DistributedDataParallel:
         """
         shards = scatter_batch(inputs, targets, self.group.size)
         losses = []
-        for model, (x, y) in zip(self.replicas, shards):
-            model.zero_grad()
+        for model, buf, (x, y) in zip(self.replicas, self.buffers, shards):
+            buf.zero_grad()
             loss = self.loss_fn(model(Tensor(x)), Tensor(y))
             loss.backward()
+            buf.sync_grads()  # no-op unless something detached a .grad view
             losses.append(float(loss.data))
-        buckets = [flatten_grads(m) for m in self.replicas]
-        reduced = self.group.all_reduce(buckets, op="mean")
-        for model, flat in zip(self.replicas, reduced):
-            unflatten_to_grads(model, flat)
+        reduced = self.group.all_reduce([buf.grad for buf in self.buffers],
+                                        op="mean")
+        for buf, flat in zip(self.buffers, reduced):
+            buf.grad[...] = flat  # per-param .grad views see the average
         return losses
 
     def assert_replicas_synchronized(self, atol: float = 0.0) -> None:

@@ -9,6 +9,7 @@ from .flash_attention import (
     flash_attention,
     naive_attention,
 )
+from .flat import FlatParamBuffer
 from .layers import MLP, Conv2d, LayerNorm, Linear, Sequential
 from .module import Identity, Module, ModuleList, Parameter
 from .optim import AdamW, SGD, clip_grad_norm, cosine_schedule, warmup_cosine
@@ -37,6 +38,7 @@ __all__ = [
     "TransformerBlock",
     "TransformerEncoder",
     "unpatchify",
+    "FlatParamBuffer",
     "SGD",
     "AdamW",
     "cosine_schedule",

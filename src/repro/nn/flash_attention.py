@@ -64,24 +64,31 @@ def flash_attention(
     out = np.empty((nb, lq, d), dtype=np.float32)
     lse = np.empty((nb, lq), dtype=np.float32)  # log-sum-exp per query row
 
+    # BLAS matmuls on transposed views (no einsum path search per block),
+    # with in-place rescaling of the running accumulators.  The softmax
+    # scale is folded into Q once — (sc*Q)K^T touches nb*L*d elements
+    # instead of an O(L^2) `s *= sc` pass per block pair.
+    qsc = qd * sc
+    kdT = np.swapaxes(kd, -1, -2)
     for i0 in range(0, lq, bs):
         i1 = min(i0 + bs, lq)
-        qi = qd[:, i0:i1]  # (nb, bq, d)
+        qi = qsc[:, i0:i1]  # (nb, bq, d), pre-scaled
         m = np.full((nb, i1 - i0), -np.inf, dtype=np.float32)
         l = np.zeros((nb, i1 - i0), dtype=np.float32)
         acc = np.zeros((nb, i1 - i0, d), dtype=np.float32)
         for j0 in range(0, lk, bs):
             j1 = min(j0 + bs, lk)
-            s = np.einsum("bqd,bkd->bqk", qi, kd[:, j0:j1], optimize=True) * sc
+            s = qi @ kdT[:, :, j0:j1]  # fresh buffer, reused as p below
             m_new = np.maximum(m, s.max(axis=-1))
             correction = np.exp(m - m_new)
-            p = np.exp(s - m_new[..., None])
-            l = l * correction + p.sum(axis=-1)
-            acc = acc * correction[..., None] + np.einsum(
-                "bqk,bkd->bqd", p, vd[:, j0:j1], optimize=True
-            )
+            np.subtract(s, m_new[..., None], out=s)
+            np.exp(s, out=s)  # s is now the unnormalised probabilities p
+            l *= correction
+            l += s.sum(axis=-1)
+            acc *= correction[..., None]
+            acc += s @ vd[:, j0:j1]
             m = m_new
-        out[:, i0:i1] = acc / l[..., None]
+        np.divide(acc, l[..., None], out=out[:, i0:i1])
         lse[:, i0:i1] = m + np.log(l)
 
     out_full = out.reshape(*batch_shape, lq, d)
@@ -94,21 +101,28 @@ def flash_attention(
         dq = np.zeros_like(qd)
         dk = np.zeros_like(kd)
         dv = np.zeros_like(vd)
+        # fold the softmax scale into Q/K once (O(L*d) passes) instead of
+        # two O(L^2) `s *= sc` passes per block pair: (sc*Q)K^T recomputes
+        # the scores, and ds·(sc*K) / ds^T·(sc*Q) absorb the chain-rule sc
+        ksc = kd * sc
         for j0 in range(0, lk, bs):
             j1 = min(j0 + bs, lk)
-            kj = kd[:, j0:j1]
-            vj = vd[:, j0:j1]
+            kjT = np.swapaxes(kd[:, j0:j1], -1, -2)
+            ksc_j = ksc[:, j0:j1]
+            vjT = np.swapaxes(vd[:, j0:j1], -1, -2)
             for i0 in range(0, lq, bs):
                 i1 = min(i0 + bs, lq)
-                qi = qd[:, i0:i1]
-                s = np.einsum("bqd,bkd->bqk", qi, kj, optimize=True) * sc
-                p = np.exp(s - lse[:, i0:i1, None])
+                qi = qsc[:, i0:i1]  # pre-scaled
+                s = qi @ kjT  # fresh buffer: recomputed scores → p → ds
+                np.subtract(s, lse[:, i0:i1, None], out=s)
+                np.exp(s, out=s)  # s is now p
                 goi = go[:, i0:i1]
-                dv[:, j0:j1] += np.einsum("bqk,bqd->bkd", p, goi, optimize=True)
-                dp = np.einsum("bqd,bkd->bqk", goi, vj, optimize=True)
-                ds = p * (dp - delta[:, i0:i1, None]) * sc
-                dq[:, i0:i1] += np.einsum("bqk,bkd->bqd", ds, kj, optimize=True)
-                dk[:, j0:j1] += np.einsum("bqk,bqd->bkd", ds, qi, optimize=True)
+                dv[:, j0:j1] += np.swapaxes(s, -1, -2) @ goi
+                dp = goi @ vjT
+                np.subtract(dp, delta[:, i0:i1, None], out=dp)
+                s *= dp  # s is now p * (dp - delta)
+                dq[:, i0:i1] += s @ ksc_j
+                dk[:, j0:j1] += np.swapaxes(s, -1, -2) @ qi
         return (
             (q, dq.reshape(q.shape)),
             (k, dk.reshape(k.shape)),

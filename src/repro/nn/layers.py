@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor, conv2d, gelu
+from ..tensor import Tensor, conv2d, gelu, layernorm, linear
 from . import init
 from .module import Module, Parameter
 
@@ -29,10 +29,7 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.transpose(0, 1)
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        return linear(x, self.weight, self.bias)
 
 
 class Conv2d(Module):
@@ -64,11 +61,7 @@ class LayerNorm(Module):
         self.bias = Parameter(init.zeros((dim,)))
 
     def forward(self, x: Tensor) -> Tensor:
-        mu = x.mean(axis=-1, keepdims=True)
-        centered = x - mu
-        var = (centered * centered).mean(axis=-1, keepdims=True)
-        inv = (var + self.eps) ** -0.5
-        return centered * inv * self.weight + self.bias
+        return layernorm(x, self.weight, self.bias, eps=self.eps)
 
 
 class MLP(Module):

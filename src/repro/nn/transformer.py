@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..tensor import Tensor
+from ..tensor import Tensor, add_bias
 from . import init
 from .attention import MultiHeadSelfAttention
 from .layers import LayerNorm, Linear, MLP
@@ -115,7 +115,7 @@ class TransformerEncoder(Module):
         return Tensor(interp[None])
 
     def forward(self, x: Tensor) -> Tensor:
-        x = x + self._positional(x.shape[1])
+        x = add_bias(x, self._positional(x.shape[1]))
         if self.checkpoint_blocks and self.training:
             from .checkpoint import checkpoint
 

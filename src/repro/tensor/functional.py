@@ -11,13 +11,21 @@ from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .tensor import Tensor, _unbroadcast
 
 __all__ = [
     "softmax",
     "log_softmax",
     "gelu",
+    "gelu_composed",
     "silu",
+    "silu_composed",
+    "layernorm",
+    "layernorm_composed",
+    "softmax_cross_entropy",
+    "softmax_cross_entropy_composed",
+    "linear",
+    "add_bias",
     "bilinear_upsample",
     "pixel_shuffle",
     "pixel_unshuffle",
@@ -64,14 +72,196 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def gelu(x: Tensor) -> Tensor:
-    """Exact GELU: ``x * Phi(x)`` with Phi the standard normal CDF."""
+    """Exact GELU ``x * Phi(x)`` as a single fused tape node.
+
+    The composed erf form expands into five nodes with a full-size
+    temporary each; here the forward saves only ``Phi(x)`` and the
+    hand-written backward is ``g * (Phi(x) + x * pdf(x))``.
+    """
+    from scipy import special
+
+    a = x
+    phi = np.multiply(a.data, np.float32(1.0 / np.sqrt(2.0)))
+    special.erf(phi, out=phi)
+    phi += 1.0
+    phi *= 0.5
+    inv_sqrt_2pi = np.float32(1.0 / np.sqrt(2.0 * np.pi))
+
+    def backward(g):
+        # one scratch buffer end to end: t = x*pdf(x) + phi, then *= g
+        t = np.multiply(a.data, a.data)
+        t *= -0.5
+        np.exp(t, out=t)
+        t *= inv_sqrt_2pi
+        t *= a.data
+        t += phi
+        t *= g
+        return ((a, t),)
+
+    return Tensor._from_op(a.data * phi, (a,), backward, "gelu")
+
+
+def gelu_composed(x: Tensor) -> Tensor:
+    """Multi-node erf-form GELU (kept as the fused kernel's reference)."""
     inv_sqrt2 = 1.0 / np.sqrt(2.0)
     return x * ((x * inv_sqrt2).erf() + 1.0) * 0.5
 
 
 def silu(x: Tensor) -> Tensor:
-    """SiLU / swish activation ``x * sigmoid(x)``."""
+    """SiLU / swish ``x * sigmoid(x)`` as a single fused tape node.
+
+    Saves only the sigmoid; backward is ``g * s * (1 + x * (1 - s))``.
+    """
+    a = x
+    s = (1.0 / (1.0 + np.exp(-a.data))).astype(np.float32)
+
+    def backward(g):
+        return ((a, g * (s * (1.0 + a.data * (1.0 - s)))),)
+
+    return Tensor._from_op(a.data * s, (a,), backward, "silu")
+
+
+def silu_composed(x: Tensor) -> Tensor:
+    """Two-node SiLU (kept as the fused kernel's reference)."""
     return x * x.sigmoid()
+
+
+def layernorm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last axis as one fused tape node.
+
+    Forward saves the normalised activations and the inverse stddev; the
+    backward is the standard three-term JVP
+    ``dx = inv * (dxhat - mean(dxhat) - xhat * mean(dxhat * xhat))``
+    with per-feature reductions for the affine parameters.  Replaces the
+    ~8-node composition previously built by ``nn.LayerNorm``.
+    """
+    a, w, b = x, weight, bias
+    mu = a.data.mean(axis=-1, keepdims=True, dtype=np.float32)
+    centered = a.data - mu
+    var = np.mean(centered * centered, axis=-1, keepdims=True, dtype=np.float32)
+    inv = 1.0 / np.sqrt(var + np.float32(eps))
+    xhat = (centered * inv).astype(np.float32)
+    out = xhat * w.data + b.data
+
+    red_axes = tuple(range(a.data.ndim - 1))  # all but the feature axis
+
+    def backward(g):
+        dxhat = g * w.data
+        m1 = dxhat.mean(axis=-1, keepdims=True)
+        m2 = np.mean(dxhat * xhat, axis=-1, keepdims=True)
+        gx = inv * (dxhat - m1 - xhat * m2)
+        gw = _unbroadcast((g * xhat).sum(axis=red_axes), w.shape)
+        gb = _unbroadcast(g.sum(axis=red_axes), b.shape)
+        return ((a, gx.astype(np.float32)), (w, gw), (b, gb))
+
+    return Tensor._from_op(out.astype(np.float32), (a, w, b), backward, "layernorm")
+
+
+def layernorm_composed(x: Tensor, weight: Tensor, bias: Tensor,
+                       eps: float = 1e-5) -> Tensor:
+    """Multi-node layer norm (kept as the fused kernel's reference)."""
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    inv = (var + eps) ** -0.5
+    return centered * inv * weight + bias
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray, axis: int = -1,
+                          reduction: str = "mean") -> Tensor:
+    """Softmax followed by cross-entropy with integer labels, fused.
+
+    ``labels`` is an integer array shaped like ``logits`` without ``axis``.
+    The backward is the closed form ``g * (softmax - onehot)`` (scaled by
+    ``1/N`` under mean reduction) — no log/exp/gather nodes on the tape.
+    """
+    if reduction not in ("mean", "sum"):
+        raise ValueError(f"unknown reduction {reduction!r}")
+    a = logits
+    labels = np.asarray(labels)
+    if not np.issubdtype(labels.dtype, np.integer):
+        raise TypeError(f"labels must be integers, got dtype {labels.dtype}")
+
+    shifted = a.data - a.data.max(axis=axis, keepdims=True)
+    logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    logp = shifted - logsum
+    idx = np.expand_dims(labels, axis)
+    picked = np.take_along_axis(logp, idx, axis=axis)
+    n = picked.size
+    total = -picked.sum(dtype=np.float32)
+    loss = total / np.float32(n) if reduction == "mean" else total
+
+    def backward(g):
+        ds = np.exp(logp)  # softmax from the saved log-probabilities
+        np.put_along_axis(ds, idx, np.take_along_axis(ds, idx, axis=axis) - 1.0,
+                          axis=axis)
+        scale = g / n if reduction == "mean" else g
+        return ((a, (ds * scale).astype(np.float32)),)
+
+    return Tensor._from_op(np.float32(loss), (a,), backward, "softmax_xent")
+
+
+def softmax_cross_entropy_composed(logits: Tensor, labels: np.ndarray,
+                                   axis: int = -1,
+                                   reduction: str = "mean") -> Tensor:
+    """log_softmax + one-hot contraction (the fused kernel's reference)."""
+    labels = np.asarray(labels)
+    logp = log_softmax(logits, axis=axis)
+    onehot = np.zeros(logits.shape, dtype=np.float32)
+    np.put_along_axis(onehot, np.expand_dims(labels, axis), 1.0, axis=axis)
+    total = -(logp * Tensor(onehot)).sum()
+    if reduction == "mean":
+        return total * (1.0 / labels.size)
+    return total
+
+
+def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
+    """``x @ weight.T + bias`` as one fused tape node.
+
+    ``weight`` has shape ``(out_features, in_features)``; ``x`` may carry
+    arbitrary leading dimensions.  Replaces the transpose + matmul + add
+    chain previously built by ``nn.Linear`` and computes the weight
+    gradient as a single flattened GEMM.
+    """
+    from .flops import add_flops
+
+    a, w = x, weight
+    out_f, in_f = w.shape
+    if a.shape[-1] != in_f:
+        raise ValueError(f"input features {a.shape[-1]} != weight in {in_f}")
+    out = a.data @ w.data.T
+    add_flops(2.0 * out.size * in_f)
+    if bias is not None:
+        out += bias.data  # out is freshly allocated: in-place add is safe
+
+    parents = (a, w) if bias is None else (a, w, bias)
+
+    def backward(g):
+        add_flops(4.0 * out.size * in_f)
+        gx = g @ w.data
+        g2 = g.reshape(-1, out_f)
+        x2 = a.data.reshape(-1, in_f)
+        gw = g2.T @ x2
+        grads = [(a, gx), (w, gw)]
+        if bias is not None:
+            grads.append((bias, g2.sum(axis=0)))
+        return tuple(grads)
+
+    return Tensor._from_op(out, parents, backward, "linear")
+
+
+def add_bias(x: Tensor, bias: Tensor) -> Tensor:
+    """Broadcast add as a single tape node (fused bias/positional add).
+
+    Identical numerics to ``x + bias`` but records one node whose backward
+    hands the upstream gradient through to ``x`` zero-copy.
+    """
+    a, b = x, bias
+
+    def backward(g):
+        return ((a, g), (b, _unbroadcast(g, b.shape)))
+
+    return Tensor._from_op(a.data + b.data, (a, b), backward, "add_bias")
 
 
 # --------------------------------------------------------------------- #

@@ -29,9 +29,37 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "graph_counters",
+    "reset_graph_counters",
+]
 
 _state = threading.local()
+
+#: Deterministic accounting of graph construction and backward-pass memory
+#: traffic.  Unlike wall-clock these counts are machine-independent, so the
+#: golden regression test pins them to catch copy/allocation regressions.
+_COUNTERS = {
+    "nodes": 0,            # tape nodes recorded by _from_op
+    "bwd_inplace_adds": 0,  # accumulations done with np.add(..., out=)
+    "bwd_new_buffers": 0,   # fresh arrays allocated during the walk
+    "bwd_handoffs": 0,      # parent grads stored by reference (zero-copy)
+    "leaf_copies": 0,       # copies made when materialising leaf .grad
+}
+
+
+def graph_counters() -> dict[str, int]:
+    """Snapshot of the engine's node/copy/allocation counters."""
+    return dict(_COUNTERS)
+
+
+def reset_graph_counters() -> None:
+    """Zero all engine counters (call before a measured region)."""
+    for key in _COUNTERS:
+        _COUNTERS[key] = 0
 
 
 def is_grad_enabled() -> bool:
@@ -55,21 +83,39 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
 
     Sums over the leading dimensions that were added and over axes where
     the original size was 1 but the broadcast size was larger.
+
+    Fast paths: a shape match returns ``grad`` itself (zero-copy — the
+    backward walk's ownership tracking makes handing the upstream gradient
+    through safe), and a leading-dims-only reduction skips the keepdims
+    scan and the final reshape when the summed result already matches.
     """
     if grad.shape == shape:
         return grad
     ndim_diff = grad.ndim - len(shape)
     if ndim_diff > 0:
         grad = grad.sum(axis=tuple(range(ndim_diff)))
+        if grad.shape == shape:  # common case: only leading dims were added
+            return grad
     axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
+    if grad.shape == shape:
+        return grad
     return grad.reshape(shape)
 
 
 def _as_array(value) -> np.ndarray:
     arr = np.asarray(value, dtype=np.float32)
     return arr
+
+
+def _backward_released(g):
+    """Sentinel installed on interior nodes after their graph is freed."""
+    raise RuntimeError(
+        "backward through a released graph: intermediate activations were "
+        "freed by a previous backward(). Pass retain_graph=True to the "
+        "first backward() if you need to backpropagate twice."
+    )
 
 
 class Tensor:
@@ -111,6 +157,7 @@ class Tensor:
             out._parents = tuple(parents)
             out._backward = backward
             out._op = op
+            _COUNTERS["nodes"] += 1
         return out
 
     @staticmethod
@@ -141,7 +188,12 @@ class Tensor:
         return self.data
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a tensor with exactly one element, "
+                f"got shape {self.data.shape} ({self.data.size} elements)"
+            )
+        return float(self.data.reshape(-1)[0])
 
     def detach(self) -> "Tensor":
         """A new leaf sharing this tensor's data, cut from the graph."""
@@ -154,21 +206,52 @@ class Tensor:
     # ------------------------------------------------------------------ #
     # gradient accumulation and backward pass
     # ------------------------------------------------------------------ #
-    def _accumulate(self, grad: np.ndarray) -> None:
-        grad = grad.astype(np.float32, copy=False)
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Fold ``grad`` into ``self.grad`` with at most one allocation.
+
+        ``owned=True`` promises that ``grad`` was freshly allocated by the
+        caller (no other reference exists), so it can become ``self.grad``
+        without a defensive copy.  Repeat accumulation is in-place, which
+        also keeps ``self.grad`` valid when it is a view into a flat
+        gradient buffer (see :mod:`repro.nn.flat`).
+        """
         if self.grad is None:
-            self.grad = grad.copy()
+            if (owned and grad.dtype == np.float32
+                    and grad.flags.writeable and grad.shape == self.data.shape):
+                self.grad = grad
+            else:
+                self.grad = np.array(grad, dtype=np.float32)
+                if self.grad.shape != self.data.shape:  # broadcast-only grads
+                    self.grad = np.broadcast_to(
+                        self.grad, self.data.shape).copy()
+                _COUNTERS["leaf_copies"] += 1
         else:
-            self.grad += grad
+            np.add(self.grad, grad, out=self.grad)
+            _COUNTERS["bwd_inplace_adds"] += 1
 
     def zero_grad(self) -> None:
         self.grad = None
 
-    def backward(self, grad: np.ndarray | None = None) -> None:
+    def backward(self, grad: np.ndarray | None = None,
+                 retain_graph: bool = False) -> None:
         """Backpropagate from this tensor through the recorded graph.
 
         ``grad`` defaults to ones for scalar outputs; non-scalar outputs
         require an explicit upstream gradient, as in PyTorch.
+
+        The walk accumulates in-place wherever it is provably safe: a
+        parent's first contribution is stored by reference (zero-copy —
+        backward closures may hand the upstream gradient straight through),
+        the second allocates the accumulation buffer, and every further
+        contribution is an ``np.add(..., out=)`` into it.  Only arrays the
+        walk itself allocated are ever mutated ("ownership tracking"), so
+        closure outputs that alias forward activations or the upstream
+        gradient are never corrupted.
+
+        Unless ``retain_graph=True``, the traversed graph is released
+        before returning: interior nodes drop their parent references and
+        saved-activation closures so memory is freed eagerly.  A second
+        backward through a released graph raises ``RuntimeError``.
         """
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
@@ -197,26 +280,52 @@ class Tensor:
                     stack.append((parent, False))
 
         grads: dict[int, np.ndarray] = {id(self): grad}
+        owned: set[int] = set()  # keys whose buffer was allocated by this walk
         for node in reversed(topo):
             g = grads.pop(id(node), None)
+            g_owned = id(node) in owned
+            owned.discard(id(node))
             if g is None:
                 continue
             if node._backward is None:
-                node._accumulate(g)
+                node._accumulate(g, owned=g_owned)
                 continue
             for parent, pg in node._backward(g):
                 if not parent.requires_grad or pg is None:
                     continue
                 key = id(parent)
                 if key in grads:
-                    grads[key] = grads[key] + pg
+                    if key in owned:
+                        np.add(grads[key], pg, out=grads[key])
+                        _COUNTERS["bwd_inplace_adds"] += 1
+                    else:
+                        # second contribution: allocate the accumulation
+                        # buffer once; later ones add into it in-place
+                        grads[key] = grads[key] + pg
+                        owned.add(key)
+                        _COUNTERS["bwd_new_buffers"] += 1
                 else:
-                    grads[key] = np.asarray(pg, dtype=np.float32)
-        # anything left in grads maps to leaves visited zero-`_backward` way
-        for node in topo:
-            g = grads.pop(id(node), None)
-            if g is not None and node._backward is None:
-                node._accumulate(g)
+                    arr = np.asarray(pg, dtype=np.float32)
+                    grads[key] = arr
+                    if arr is not pg:  # dtype cast allocated a fresh array
+                        owned.add(key)
+                        _COUNTERS["bwd_new_buffers"] += 1
+                    else:
+                        _COUNTERS["bwd_handoffs"] += 1
+        # Invariant: every key inserted above names a node in ``topo``
+        # (DFS pushes exactly the requires_grad parents), and reverse
+        # topological order processes each node after all of its
+        # consumers — so the main walk pops every entry.  The historical
+        # post-loop leaf sweep was unreachable and has been removed.
+        if grads:
+            raise AssertionError(
+                f"backward walk left {len(grads)} unconsumed gradient(s); "
+                "the topological order is broken")
+        if not retain_graph:
+            for node in topo:
+                if node._backward is not None:
+                    node._backward = _backward_released
+                    node._parents = ()
 
     # ------------------------------------------------------------------ #
     # arithmetic
@@ -421,7 +530,9 @@ class Tensor:
             g_full = g
             if axis is not None and not keepdims:
                 g_full = np.expand_dims(g, axis=axis)
-            return ((a, np.broadcast_to(g_full, a.shape).copy()),)
+            # read-only 0-stride view: the walk's ownership tracking never
+            # mutates it, and leaves materialise it in a single copy
+            return ((a, np.broadcast_to(g_full, a.shape)),)
 
         return Tensor._from_op(np.asarray(out_data, dtype=np.float32), (a,), backward, "sum")
 
@@ -495,13 +606,23 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         a = self
         out_data = a.data[index]
+        items = index if isinstance(index, tuple) else (index,)
+        # basic indexing (ints/slices only) selects each element at most
+        # once, so the adjoint is a plain sliced add — np.add.at's slow
+        # general scatter is only needed for advanced (array) indexing
+        basic = all(isinstance(i, (int, np.integer, slice, type(None),
+                                   type(Ellipsis))) for i in items)
 
         def backward(g):
             full = np.zeros_like(a.data)
-            np.add.at(full, index, g)
+            if basic:
+                full[index] += g
+            else:
+                np.add.at(full, index, g)
             return ((a, full),)
 
-        return Tensor._from_op(np.ascontiguousarray(out_data), (a,), backward, "getitem")
+        # basic indexing returns a view — no copy until someone needs one
+        return Tensor._from_op(out_data, (a,), backward, "getitem")
 
     def pad(self, pad_width: Iterable[tuple[int, int]], value: float = 0.0) -> "Tensor":
         a = self
@@ -526,7 +647,7 @@ class Tensor:
             for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
                 idx = [slice(None)] * g.ndim
                 idx[axis] = slice(int(lo), int(hi))
-                grads.append((t, np.ascontiguousarray(g[tuple(idx)])))
+                grads.append((t, g[tuple(idx)]))  # slice view; walk never mutates it
             return tuple(grads)
 
         data = np.concatenate([t.data for t in tensors], axis=axis)
@@ -549,4 +670,5 @@ class Tensor:
         def backward(g):
             return ((a, _unbroadcast(g, a.shape)),)
 
-        return Tensor._from_op(np.broadcast_to(a.data, shape).copy(), (a,), backward, "broadcast")
+        # read-only 0-stride view; consumers treat .data as immutable anyway
+        return Tensor._from_op(np.broadcast_to(a.data, shape), (a,), backward, "broadcast")

@@ -102,6 +102,25 @@ def _ref_silu(x):
     return x / (1.0 + np.exp(-x))
 
 
+def _ref_layernorm(x, w, b, eps=1e-5):
+    mu = x.mean(axis=-1, keepdims=True)
+    centered = x - mu
+    var = (centered * centered).mean(axis=-1, keepdims=True)
+    return centered / np.sqrt(var + eps) * w + b
+
+
+def _ref_softmax_xent(x, labels, axis=-1, reduction="mean"):
+    logp = _ref_log_softmax(x, axis)
+    picked = np.take_along_axis(logp, np.expand_dims(labels, axis), axis)
+    total = -picked.sum()
+    return total / labels.size if reduction == "mean" else total
+
+
+def _ref_linear(x, w, b=None):
+    out = x @ w.T
+    return out if b is None else out + b
+
+
 def _ref_conv2d(x, w, b, stride, pad):
     n, cin, h, ww = x.shape
     cout, _, k, _ = w.shape
@@ -289,6 +308,43 @@ def _dropout_sampler(rng, dtype):
     return [x], {"p": p, "seed": seed}
 
 
+def _layernorm_sampler(rng, dtype):
+    x = _values(rng, _shape(rng, ndim_lo=2, ndim_hi=3), dtype)
+    d = x.shape[-1]
+    w = _values(rng, (d,), dtype, scale=0.5, offset=1.0)
+    b = _values(rng, (d,), dtype, scale=0.5)
+    return [x, w, b], {}
+
+
+def _xent_sampler(rng, dtype):
+    # labels are integer indices, not differentiable inputs — they ride in
+    # kwargs so _check_sample doesn't wrap them as float Tensors
+    n = int(rng.integers(1, 5))
+    c = int(rng.integers(2, 6))
+    logits = _values(rng, (n, c), dtype, scale=2.0)
+    labels = rng.integers(0, c, size=(n,))
+    reduction = "mean" if rng.random() < 0.5 else "sum"
+    return [logits], {"labels": labels, "reduction": reduction}
+
+
+def _linear_sampler(rng, dtype):
+    in_f, out_f = int(rng.integers(1, 6)), int(rng.integers(1, 6))
+    lead = _shape(rng, ndim_lo=0, ndim_hi=2, dim_hi=4)
+    x = _values(rng, (*lead, in_f), dtype)
+    w = _values(rng, (out_f, in_f), dtype)
+    arrays = [x, w]
+    if rng.random() < 0.5:
+        arrays.append(_values(rng, (out_f,), dtype))
+    return arrays, {}
+
+
+def _add_bias_sampler(rng, dtype):
+    shape = _shape(rng, ndim_lo=1, ndim_hi=3)
+    x = _values(rng, shape, dtype)
+    b = _values(rng, _broadcast_partner(rng, shape), dtype)
+    return [x, b], {}
+
+
 def _conv_run(x, w, b=None, *, stride, pad):
     return F.conv2d(x, w, b, stride=stride, pad=pad)
 
@@ -316,6 +372,14 @@ OPS: dict[str, OpSpec] = {
         OpSpec("log_softmax", _axis_sampler, F.log_softmax, _ref_log_softmax),
         OpSpec("gelu", _unary_sampler(), F.gelu, _ref_gelu),
         OpSpec("silu", _unary_sampler(), F.silu, _ref_silu),
+        OpSpec("layernorm", _layernorm_sampler, F.layernorm, _ref_layernorm,
+               diff_inputs=(0, 1, 2), grad_atol=5e-3),
+        OpSpec("softmax_xent", _xent_sampler, F.softmax_cross_entropy,
+               _ref_softmax_xent),
+        OpSpec("linear", _linear_sampler, F.linear, _ref_linear,
+               diff_inputs=(0, 1, 2)),
+        OpSpec("add_bias", _add_bias_sampler, F.add_bias,
+               lambda a, b: a + b, diff_inputs=(0, 1)),
         OpSpec("sum", _reduce_sampler, Tensor.sum,
                lambda x, axis, keepdims: x.sum(axis=axis, keepdims=keepdims)),
         OpSpec("mean", _reduce_sampler, Tensor.mean,

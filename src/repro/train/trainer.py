@@ -66,8 +66,10 @@ class Trainer:
         self.loss_fn = BayesianDownscalingLoss(
             latitude_weights(dataset.spec.fine_grid), tv_weight=config.tv_weight
         )
+        # flatten=True: one contiguous param/grad buffer, one vectorised
+        # AdamW update per step (bit-identical to the per-tensor loop)
         self.optimizer = AdamW(model.parameters(), lr=config.lr,
-                               weight_decay=config.weight_decay)
+                               weight_decay=config.weight_decay, flatten=True)
         self.scaler = GradScaler() if config.bf16 else None
         self.cast = Bf16Cast() if config.bf16 else None
         self.history = TrainHistory()

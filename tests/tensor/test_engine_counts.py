@@ -1,0 +1,69 @@
+"""Golden regression on the engine's deterministic node/copy counters.
+
+A fixed tiny Reslim train step records exactly how many tape nodes the
+forward builds and how the backward pass accumulates gradients: in-place
+adds, freshly allocated buffers, zero-copy handoffs, and leaf-side
+copies.  These counts are deterministic functions of the model graph, so
+any change that silently adds nodes or copies to the hot path shifts the
+table and fails tier-1 (rtol=0) — the wall-clock benchmark catches big
+regressions on one machine, this catches structural ones everywhere.
+
+Regenerate after an intentional engine change with
+``REPRO_UPDATE_GOLDEN=1 pytest tests/tensor/test_engine_counts.py``.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, Reslim
+from repro.nn import AdamW
+from repro.tensor import Tensor, graph_counters, reset_graph_counters
+
+GOLDEN_DIR = Path(__file__).resolve().parents[2] / "benchmarks" / "golden"
+
+
+def _render(counts: dict[str, int]) -> str:
+    lines = ["engine hot-path counters (one Reslim train step)"]
+    for key in sorted(counts):
+        lines.append(f"{key:18s} {counts[key]}")
+    return "\n".join(lines) + "\n"
+
+
+def _one_step_counts() -> dict[str, int]:
+    rng = np.random.default_rng(0)
+    config = ModelConfig("counts", embed_dim=32, depth=2, num_heads=4)
+    model = Reslim(config, in_channels=2, out_channels=1, factor=2,
+                   max_tokens=4096, rng=rng)
+    opt = AdamW(model.parameters(), lr=1e-3, flatten=True)
+    x = Tensor(rng.standard_normal((2, 2, 16, 16)).astype(np.float32))
+    y = Tensor(rng.standard_normal((2, 1, 32, 32)).astype(np.float32))
+
+    # warm-up step so lazy grad views are attached, then measure one step
+    def step():
+        opt.zero_grad()
+        diff = model(x) - y
+        loss = (diff * diff).mean()
+        loss.backward()
+        opt.step()
+
+    step()
+    reset_graph_counters()
+    step()
+    return graph_counters()
+
+
+def test_engine_counts_golden():
+    from repro.testing.golden import check_golden
+
+    counts = _one_step_counts()
+    # sanity: the zero-copy backward must hand off more gradients than it
+    # copies — the whole point of ownership tracking
+    assert counts["bwd_handoffs"] > counts["bwd_new_buffers"]
+    assert counts["nodes"] > 0
+    check_golden("engine_hotpath_counts", _render(counts), GOLDEN_DIR,
+                 rtol=0.0, atol=0.0)
+
+
+def test_counts_deterministic_across_runs():
+    assert _one_step_counts() == _one_step_counts()
