@@ -8,6 +8,8 @@ Entry points for downstream users who want results without writing code:
   style metric rows);
 * ``repro scale``    — print the modelled exascale tables (Table III,
   Fig. 6) for a chosen model size;
+* ``repro plan``     — validate a TP x FSDP x TILES x DDP composite plan
+  and print its per-level communication cost table (Fig. 5 mapping);
 * ``repro export``   — materialize a dataset split to a ``.npz`` archive.
 
 Run ``python -m repro.cli <command> --help`` for options.
@@ -58,6 +60,19 @@ def build_parser() -> argparse.ArgumentParser:
     s.add_argument("--gpus", type=int, nargs="+",
                    default=[512, 2048, 8192, 32768])
     s.add_argument("--tiles", type=int, default=16)
+    s.add_argument("--plan", action="store_true",
+                   help="also print the composite-plan comm cost table at "
+                        "the largest GPU count")
+
+    p = sub.add_parser("plan", help="validate and cost a composite plan")
+    p.add_argument("--model", choices=["9.5M", "126M", "1B", "10B"], default="1B")
+    p.add_argument("--world", type=int, default=16)
+    p.add_argument("--tp", type=int, default=1)
+    p.add_argument("--fsdp", type=int, default=1)
+    p.add_argument("--tiles", type=int, default=1)
+    p.add_argument("--ddp", type=int, default=0,
+                   help="DDP ways (default: world / (tp*fsdp*tiles))")
+    p.add_argument("--tokens-per-tile", type=int, default=4096)
 
     x = sub.add_parser("export", help="export a dataset split to .npz")
     x.add_argument("--grid", type=int, nargs=2, default=(32, 64))
@@ -152,6 +167,52 @@ def _cmd_scale(args) -> int:
     best = max_output_tokens(cfg, max(args.gpus), tiles=args.tiles, compression=4.0)
     print(f"max sequence at {max(args.gpus)} GPUs (4x compression): "
           f"{best.output_tokens:.3g} tokens")
+    if args.plan:
+        from repro.distributed import CompositePlan, ParallelLayout, VirtualCluster
+
+        world = max(args.gpus)
+        layout = ParallelLayout(VirtualCluster(world))
+        tiles = args.tiles if layout.ddp_size % args.tiles == 0 else 1
+        plan = CompositePlan.from_layout(layout, tiles=tiles)
+        print()
+        _print_plan_costs(plan, cfg)
+    return 0
+
+
+def _print_plan_costs(plan, cfg, tokens_per_tile: int = 4096) -> None:
+    from repro.distributed import plan_comm_costs
+
+    sizes = plan.level_sizes()
+    hierarchy = plan.communication_hierarchy()
+    print(f"composite plan on {plan.cluster.world_size} GPUs: "
+          + " x ".join(f"{k}={sizes[k]}" for k in ("tp", "fsdp", "tiles", "ddp")))
+    print(f"{'level':>6s} {'size':>5s} {'link':>10s} {'op':>15s} "
+          f"{'calls':>6s} {'MB/call':>9s} {'time/step':>10s}")
+    total = 0.0
+    for row in plan_comm_costs(plan, cfg, tokens_per_tile=tokens_per_tile):
+        total += row["time_s"]
+        print(f"{row['level']:>6s} {row['group_size']:5d} {row['link']:>10s} "
+              f"{row['op']:>15s} {row['calls']:6d} "
+              f"{row['bytes_per_call'] / 1e6:9.2f} {row['time_s']:9.4f}s")
+    print(f"modelled comm time per step: {total:.4f}s")
+
+
+def _cmd_plan(args) -> int:
+    from repro.core import PAPER_CONFIGS
+    from repro.distributed import CompositePlan, VirtualCluster
+
+    cfg = PAPER_CONFIGS[args.model]
+    ddp = args.ddp or max(1, args.world // (args.tp * args.fsdp * args.tiles))
+    try:
+        plan = CompositePlan(VirtualCluster(args.world), tp=args.tp,
+                             fsdp=args.fsdp, tiles=args.tiles, ddp=ddp)
+    except ValueError as exc:
+        print(f"invalid plan: {exc}", file=sys.stderr)
+        return 1
+    plan.validate()
+    print(f"plan valid: every rank appears exactly once per level "
+          f"(model {args.model})")
+    _print_plan_costs(plan, cfg, tokens_per_tile=args.tokens_per_tile)
     return 0
 
 
@@ -168,7 +229,7 @@ def _cmd_export(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
-                "scale": _cmd_scale, "export": _cmd_export}
+                "scale": _cmd_scale, "plan": _cmd_plan, "export": _cmd_export}
     return handlers[args.command](args)
 
 

@@ -18,6 +18,7 @@ from .perf_model import (
     DownscalingWorkload,
     max_output_tokens,
     memory_per_gpu_bytes,
+    plan_comm_costs,
     strong_scaling_efficiency,
     sustained_flops,
     time_per_sample,
@@ -25,6 +26,19 @@ from .perf_model import (
     workload_flops_per_sample,
 )
 from .sequence_parallel import TilesSequenceParallel, tiles_comm_volume, ulysses_comm_volume
+from .strategy import (
+    CompositePlan,
+    CompositeStrategy,
+    DDPStrategy,
+    FSDPStrategy,
+    HybridOpStrategy,
+    ParallelStrategy,
+    PipelineStrategy,
+    TensorParallelStrategy,
+    TilesStrategy,
+    UlyssesStrategy,
+    tile_core_loss,
+)
 from .tensor_parallel import (
     ColumnParallelLinear,
     RowParallelLinear,
@@ -69,11 +83,23 @@ __all__ = [
     "tiles_comm_volume",
     "ulysses_comm_volume",
     "ParallelLayout",
+    "ParallelStrategy",
+    "CompositePlan",
+    "CompositeStrategy",
+    "DDPStrategy",
+    "FSDPStrategy",
+    "TilesStrategy",
+    "TensorParallelStrategy",
+    "UlyssesStrategy",
+    "HybridOpStrategy",
+    "PipelineStrategy",
+    "tile_core_loss",
     "DownscalingWorkload",
     "transformer_flops",
     "workload_flops_per_sample",
     "memory_per_gpu_bytes",
     "max_output_tokens",
+    "plan_comm_costs",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",

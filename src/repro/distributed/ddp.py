@@ -81,24 +81,39 @@ class DistributedDataParallel:
         # so no per-parameter flatten/unflatten copies happen per step
         self.buffers = [FlatParamBuffer(list(rep.parameters())) for rep in replicas]
 
+    def forward_backward(self, inputs: np.ndarray, targets: np.ndarray,
+                         loss_fn=None) -> list[float]:
+        """Per-rank forward/backward on the scattered batch (no comm).
+
+        Gradients accumulate into each replica's flat buffer; returns the
+        per-rank losses.  ``loss_fn`` overrides the constructor's loss.
+        """
+        loss_fn = loss_fn or self.loss_fn
+        shards = scatter_batch(inputs, targets, self.group.size)
+        losses = []
+        for model, buf, (x, y) in zip(self.replicas, self.buffers, shards):
+            buf.zero_grad()
+            loss = loss_fn(model(Tensor(x)), Tensor(y))
+            loss.backward()
+            buf.sync_grads()  # no-op unless something detached a .grad view
+            losses.append(float(loss.data))
+        return losses
+
+    def reduce_gradients(self) -> None:
+        """Average the flat gradient buffers with one ring all-reduce."""
+        reduced = self.group.all_reduce([buf.grad for buf in self.buffers],
+                                        op="mean")
+        for buf, flat in zip(self.buffers, reduced):
+            buf.grad[...] = flat  # per-param .grad views see the average
+
     def step_gradients(self, inputs: np.ndarray, targets: np.ndarray) -> list[float]:
         """One forward/backward on a scattered batch + gradient all-reduce.
 
         Leaves the *averaged* gradients in every replica's parameters and
         returns the per-rank losses.
         """
-        shards = scatter_batch(inputs, targets, self.group.size)
-        losses = []
-        for model, buf, (x, y) in zip(self.replicas, self.buffers, shards):
-            buf.zero_grad()
-            loss = self.loss_fn(model(Tensor(x)), Tensor(y))
-            loss.backward()
-            buf.sync_grads()  # no-op unless something detached a .grad view
-            losses.append(float(loss.data))
-        reduced = self.group.all_reduce([buf.grad for buf in self.buffers],
-                                        op="mean")
-        for buf, flat in zip(self.buffers, reduced):
-            buf.grad[...] = flat  # per-param .grad views see the average
+        losses = self.forward_backward(inputs, targets)
+        self.reduce_gradients()
         return losses
 
     def assert_replicas_synchronized(self, atol: float = 0.0) -> None:

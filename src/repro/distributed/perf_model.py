@@ -34,6 +34,7 @@ import numpy as np
 
 from ..core.config import ModelConfig, transformer_param_count
 from ..core.tiles import tile_grid
+from .strategy import CompositePlan
 from .topology import FRONTIER, FrontierTopology
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "workload_flops_per_sample",
     "memory_per_gpu_bytes",
     "max_output_tokens",
+    "plan_comm_costs",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",
@@ -328,6 +330,49 @@ def time_per_sample(w: DownscalingWorkload, n_gpus: int,
     if n_gpus > 512:
         t_step *= 1.0 + JITTER_PER_DOUBLING * np.log2(n_gpus / 512)
     return t_step / concurrent
+
+
+def plan_comm_costs(plan: CompositePlan, config: ModelConfig,
+                    tokens_per_tile: int = 4096, in_channels: int = 23,
+                    out_channels: int = 18) -> list[dict]:
+    """Per-level communication bill of ONE composite training step.
+
+    Uses the same :class:`CompositePlan` that drives execution, so the
+    estimate and the runtime traffic share one rank layout: each row is
+    a (level, collective) pair with its per-call bytes, call count, the
+    ring-model wall-clock on the level's representative group, and the
+    widest link the level crosses (the Fig. 5 placement check).
+
+    Per step: TP issues 2 activation all-reduces per layer forward + 2
+    backward; FSDP all-gathers bf16 weights for forward and backward and
+    reduce-scatters bf16 gradients; the TILES and DDP levels each run one
+    fp32 gradient all-reduce.
+    """
+    params = transformer_param_count(config, in_channels=in_channels,
+                                     out_channels=out_channels)
+    hierarchy = plan.communication_hierarchy()
+    cluster = plan.cluster
+    rows: list[dict] = []
+
+    def row(level: str, ranks: list[int], op: str, calls: int, nbytes: float):
+        group = cluster.group(ranks)
+        rows.append({
+            "level": level,
+            "group_size": len(ranks),
+            "op": op,
+            "calls": calls,
+            "bytes_per_call": float(nbytes),
+            "time_s": calls * group.collective_time(op, int(nbytes)),
+            "link": hierarchy[level],
+        })
+
+    act_nbytes = tokens_per_tile * config.embed_dim * ACT_BYTES
+    row("tp", plan.tp_ranks(0, 0, 0), "all_reduce", 4 * config.depth, act_nbytes)
+    row("fsdp", plan.fsdp_ranks(0, 0, 0), "all_gather", 2, params * ACT_BYTES)
+    row("fsdp", plan.fsdp_ranks(0, 0, 0), "reduce_scatter", 1, params * ACT_BYTES)
+    row("tiles", plan.tiles_ranks(0, 0, 0), "all_reduce", 1, params * 4)
+    row("ddp", plan.ddp_ranks(0, 0, 0), "all_reduce", 1, params * 4)
+    return rows
 
 
 def sustained_flops(w: DownscalingWorkload, n_gpus: int,

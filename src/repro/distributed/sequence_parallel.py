@@ -18,9 +18,9 @@ import numpy as np
 
 from ..core.tiles import extract_tile, make_tiles, stitch_tiles
 from ..nn import Module
+from ..nn.flat import FlatParamBuffer
 from ..tensor import Tensor
 from .comm import ProcessGroup
-from .ddp import flatten_grads, unflatten_to_grads
 
 __all__ = ["TilesSequenceParallel", "ulysses_comm_volume", "tiles_comm_volume"]
 
@@ -50,6 +50,10 @@ class TilesSequenceParallel:
         state = replicas[0].state_dict()
         for rep in replicas[1:]:
             rep.load_state_dict(state)
+        # flat grad buffers: backward accumulates in place and the one
+        # all-reduce per batch sends the whole buffer — no per-step
+        # flatten/unflatten allocations
+        self.buffers = [FlatParamBuffer(list(rep.parameters())) for rep in replicas]
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Tile-parallel inference: scatter tiles, compute, stitch."""
@@ -59,21 +63,21 @@ class TilesSequenceParallel:
         outs = [rep(extract_tile(xt, spec)) for rep, spec in zip(self.replicas, specs)]
         return stitch_tiles(outs, specs, self.factor).data
 
-    def step_gradients(self, x: np.ndarray, target: np.ndarray, loss_fn) -> float:
-        """One training step: per-tile forward/backward + grad all-reduce.
+    def forward_backward(self, x: np.ndarray, target: np.ndarray, loss_fn
+                         ) -> list[float]:
+        """Per-tile forward/backward into the flat grad buffers (no comm).
 
         ``loss_fn(pred, target) -> Tensor`` is applied per tile on the
         tile's core target region (halo outputs are cropped before the
         loss, as the halo regions are discarded in the real system).
-        Returns the mean tile loss; averaged gradients are left in every
-        replica — the once-per-batch communication of Sec. III-B.
+        Returns the per-tile losses.
         """
         b, c, h, w = x.shape
         specs = make_tiles(h, w, self.group.size, self.halo)
         xt = Tensor(x)
         losses = []
-        for rep, spec in zip(self.replicas, specs):
-            rep.zero_grad()
+        for rep, buf, spec in zip(self.replicas, self.buffers, specs):
+            buf.zero_grad()
             out = rep(extract_tile(xt, spec))
             f = self.factor
             top, left = (spec.y0 - spec.hy0) * f, (spec.x0 - spec.hx0) * f
@@ -84,11 +88,25 @@ class TilesSequenceParallel:
             )
             loss = loss_fn(core, tile_target)
             loss.backward()
+            buf.sync_grads()
             losses.append(float(loss.data))
-        buckets = [flatten_grads(rep) for rep in self.replicas]
-        reduced = self.group.all_reduce(buckets, op="mean")
-        for rep, flat in zip(self.replicas, reduced):
-            unflatten_to_grads(rep, flat)
+        return losses
+
+    def reduce_gradients(self) -> None:
+        """Average tile gradients: the ONE all-reduce per batch of Sec. III-B."""
+        reduced = self.group.all_reduce([buf.grad for buf in self.buffers],
+                                        op="mean")
+        for buf, flat in zip(self.buffers, reduced):
+            buf.grad[...] = flat
+
+    def step_gradients(self, x: np.ndarray, target: np.ndarray, loss_fn) -> float:
+        """One training step: per-tile forward/backward + grad all-reduce.
+
+        Returns the mean tile loss; averaged gradients are left in every
+        replica — the once-per-batch communication of Sec. III-B.
+        """
+        losses = self.forward_backward(x, target, loss_fn)
+        self.reduce_gradients()
         return float(np.mean(losses))
 
 

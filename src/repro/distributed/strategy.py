@@ -1,0 +1,871 @@
+"""One interface over every parallelism: the strategy layer (Sec. III-C).
+
+Before this module, each parallelism was driven by bespoke glue in three
+places (``train/distributed_trainer.py``, the equivalence oracle's six
+``_run_*`` runners, and the analytic perf model).  :class:`ParallelStrategy`
+gives them all one shape:
+
+* ``setup(model_factory, group)`` — build the engine(s) on a process group;
+* ``forward(inputs)`` — full-batch inference for output comparison;
+* ``forward_backward(inputs, targets)`` — per-unit compute, NO collectives;
+* ``reduce_gradients()`` — all gradient communication for the step;
+* ``optimizer_params()`` — per-unit ``(params, FlatParamBuffer)`` pairs so
+  optimizers adopt the *same* buffer the collectives use (zero re-flatten);
+* ``comm_summary()`` / ``reset_comm()`` — per-level byte accounting.
+
+Forward-only engines (tensor parallel, Ulysses, Hybrid-OP, pipeline)
+implement ``forward`` + ``reference``; the training methods raise.
+
+:class:`CompositePlan` extends :class:`~.orthogonal.ParallelLayout`'s
+algebra to the explicit four-factor decomposition ``tp x fsdp x tiles x
+ddp == world`` with the rank layout ``rank = ((d*tiles + t)*fsdp + f)*tp
++ p`` (tensor parallel innermost/contiguous, matching Fig. 5's placement
+of TP on the fast in-node links).  :class:`CompositeStrategy` executes
+the full stack end-to-end on the virtual cluster:
+
+* one **model unit** per (sample ``d``, tile ``t``) pair — TP ranks of a
+  unit share compute (the :class:`~.fsdp.FSDPEngine` philosophy: shared
+  arithmetic, genuine traffic), with the per-layer all-reduce volume
+  recorded as modelled traffic on the TP groups;
+* FSDP reduce-scatters each unit's flat gradient into per-rank shards
+  (identical contributions accumulate in float64 — exact);
+* the TILES all-reduce averages shards across the tiles of one sample
+  (once per batch, Sec. III-B);
+* the DDP all-reduce averages across samples;
+* an FSDP all-gather re-materialises the full averaged gradient into the
+  unit's :class:`~repro.nn.flat.FlatParamBuffer` via ``load_grad`` — the
+  pre-attached ``.grad`` views see it with zero copies.
+
+The two ring phases average over all (d, t) units, so every unit ends
+with the single-process gradient of the whole batch — the composition
+law the oracle verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.tiles import TileSpec, extract_tile, make_tiles, stitch_tiles
+from ..nn import Module
+from ..nn.flat import FlatParamBuffer
+from ..nn.module import Parameter
+from ..tensor import Tensor
+from .comm import ProcessGroup, VirtualCluster
+from .ddp import DistributedDataParallel, flatten_grads, scatter_batch
+from .fsdp import FSDPEngine, unshard_arrays
+from .hybrid_op import HybridOpChain
+from .orthogonal import ParallelLayout
+from .pipeline import PipelineParallel
+from .sequence_parallel import TilesSequenceParallel
+from .tensor_parallel import TensorParallelMLP
+from .ulysses import UlyssesAttention, merge_sequence, split_sequence
+
+__all__ = [
+    "ParallelStrategy",
+    "CompositePlan",
+    "CompositeStrategy",
+    "DDPStrategy",
+    "FSDPStrategy",
+    "TilesStrategy",
+    "TensorParallelStrategy",
+    "UlyssesStrategy",
+    "HybridOpStrategy",
+    "PipelineStrategy",
+    "tile_core_loss",
+]
+
+
+def tile_core_loss(out: Tensor, spec: TileSpec, factor: int,
+                   targets: np.ndarray, loss_fn) -> Tensor:
+    """Loss on a tile's core region (halo outputs cropped, Sec. III-B)."""
+    top, left = (spec.y0 - spec.hy0) * factor, (spec.x0 - spec.hx0) * factor
+    ch, cw = spec.core_shape
+    core = out[:, :, top: top + ch * factor, left: left + cw * factor]
+    tile_target = Tensor(
+        targets[:, :, spec.y0 * factor: spec.y1 * factor,
+                spec.x0 * factor: spec.x1 * factor]
+    )
+    return loss_fn(core, tile_target)
+
+
+def _flatten_params(model: Module) -> np.ndarray:
+    return np.concatenate(
+        [p.data.reshape(-1) for p in model.parameters()]
+    ).astype(np.float32)
+
+
+# --------------------------------------------------------------------- #
+# the protocol
+# --------------------------------------------------------------------- #
+class ParallelStrategy:
+    """Uniform driver interface over the simulated-cluster parallelisms.
+
+    Trainable strategies (``trainable = True``) implement the full
+    train-step split — ``forward_backward`` then ``reduce_gradients`` —
+    plus ``optimizer_params`` for building per-unit optimizers on the
+    shared flat buffers.  Forward-only strategies implement ``forward``
+    and ``reference`` and raise on the training methods.
+    """
+
+    name: str = "?"
+    trainable: bool = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs) -> np.ndarray:
+        raise NotImplementedError
+
+    def forward_backward(self, inputs, targets) -> list[float]:
+        """Per-unit forward/backward (no communication); per-unit losses."""
+        raise NotImplementedError(f"{self.name} is a forward-only strategy")
+
+    def reduce_gradients(self) -> None:
+        """All gradient collectives of one step."""
+        raise NotImplementedError(f"{self.name} is a forward-only strategy")
+
+    def step(self, inputs, targets) -> list[float]:
+        """One gradient step: compute then communicate; per-unit losses."""
+        losses = self.forward_backward(inputs, targets)
+        self.reduce_gradients()
+        return losses
+
+    def optimizer_params(self) -> list[tuple[list[Parameter], FlatParamBuffer | None]]:
+        """Per-unit ``(params, flat_buffer)`` for optimizer construction."""
+        raise NotImplementedError(f"{self.name} is a forward-only strategy")
+
+    # ------------------------------------------------------------------ #
+    # units (trainable strategies)
+    # ------------------------------------------------------------------ #
+    def units(self) -> list[Module]:
+        """The executed model instances, one per compute unit."""
+        raise NotImplementedError(f"{self.name} has no model units")
+
+    def unit_grads(self, index: int = 0) -> np.ndarray:
+        return flatten_grads(self.units()[index])
+
+    def unit_params(self, index: int = 0) -> np.ndarray:
+        return _flatten_params(self.units()[index])
+
+    def apply_sgd(self, lr: float) -> None:
+        """Plain SGD on every unit (oracle/test helper)."""
+        for model in self.units():
+            for p in model.parameters():
+                if p.grad is not None:
+                    p.data -= lr * p.grad
+
+    # ------------------------------------------------------------------ #
+    # single-rank reference semantics (drives the equivalence oracle)
+    # ------------------------------------------------------------------ #
+    def reference(self, inputs) -> np.ndarray:
+        """Single-rank output for forward-only strategies."""
+        raise NotImplementedError
+
+    def reference_forward(self, model: Module, inputs) -> np.ndarray:
+        """Single-model output matching this strategy's decomposition."""
+        raise NotImplementedError
+
+    def reference_step(self, model: Module, inputs, targets) -> np.ndarray:
+        """Flat single-model gradient matching this strategy's loss
+        decomposition: microbatch gradients averaged in float64 (the
+        mirror of the collectives' reduction)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # communication accounting
+    # ------------------------------------------------------------------ #
+    def level_groups(self) -> dict[str, list[ProcessGroup]]:
+        """Process groups per parallelism level, e.g. ``{"ddp": [...]}."""
+        return {}
+
+    def comm_summary(self) -> dict:
+        """``{"<level>_level_bytes": total, "calls": {...}}`` per level."""
+        out: dict = {"calls": {}}
+        for level, groups in self.level_groups().items():
+            out[f"{level}_level_bytes"] = float(
+                sum(g.stats.total_bytes() for g in groups)
+            )
+            calls: dict[str, int] = {}
+            for g in groups:
+                for op, n in g.stats.calls.items():
+                    calls[op] = calls.get(op, 0) + n
+            out["calls"][level] = calls
+        return out
+
+    def reset_comm(self) -> None:
+        """Zero every group's :class:`~.comm.CommStats` (epoch accounting)."""
+        for groups in self.level_groups().values():
+            for g in groups:
+                g.stats.reset()
+
+
+def _microbatch_mean_grads(model: Module, losses) -> np.ndarray:
+    """Backward each microbatch loss thunk; float64-average the grads."""
+    grads = []
+    for compute_loss in losses:
+        model.zero_grad()
+        compute_loss().backward()
+        grads.append(flatten_grads(model).astype(np.float64))
+    return np.mean(grads, axis=0).astype(np.float32)
+
+
+# --------------------------------------------------------------------- #
+# trainable adapters
+# --------------------------------------------------------------------- #
+class DDPStrategy(ParallelStrategy):
+    """Data parallelism: batch shards per rank, one grad all-reduce."""
+
+    name = "ddp"
+    trainable = True
+
+    def __init__(self, loss_fn):
+        self.loss_fn = loss_fn
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        replicas = [model_factory(r) for r in range(group.size)]
+        self.engine = DistributedDataParallel(replicas, group, self.loss_fn)
+
+    def forward(self, inputs) -> np.ndarray:
+        shards = np.array_split(inputs, self.group.size)
+        return np.concatenate(
+            [rep(Tensor(xs)).data for rep, xs in zip(self.engine.replicas, shards)]
+        )
+
+    def forward_backward(self, inputs, targets) -> list[float]:
+        return self.engine.forward_backward(inputs, targets)
+
+    def reduce_gradients(self) -> None:
+        self.engine.reduce_gradients()
+
+    def step(self, inputs, targets) -> list[float]:
+        # route through the engine's public one-call step so tests that
+        # instrument DistributedDataParallel.step_gradients see the
+        # oracle's real execution path
+        return self.engine.step_gradients(inputs, targets)
+
+    def optimizer_params(self):
+        return [(list(rep.parameters()), buf)
+                for rep, buf in zip(self.engine.replicas, self.engine.buffers)]
+
+    def units(self) -> list[Module]:
+        return self.engine.replicas
+
+    def level_groups(self):
+        return {"ddp": [self.group]}
+
+    def reference_forward(self, model, inputs) -> np.ndarray:
+        return model(Tensor(inputs)).data
+
+    def reference_step(self, model, inputs, targets) -> np.ndarray:
+        shards = scatter_batch(inputs, targets, self.group.size)
+        return _microbatch_mean_grads(model, [
+            (lambda xs=xs, ys=ys:
+             self.loss_fn(model(Tensor(xs)), Tensor(ys)))
+            for xs, ys in shards
+        ])
+
+
+class TilesStrategy(ParallelStrategy):
+    """TILES sequence parallelism: one tile per rank, one all-reduce/batch."""
+
+    name = "tiles"
+    trainable = True
+
+    def __init__(self, loss_fn, halo: int = 2, factor: int = 2):
+        self.loss_fn = loss_fn
+        self.halo = halo
+        self.factor = factor
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        replicas = [model_factory(r) for r in range(group.size)]
+        self.engine = TilesSequenceParallel(replicas, group,
+                                            halo=self.halo, factor=self.factor)
+
+    def forward(self, inputs) -> np.ndarray:
+        return self.engine.forward(inputs)
+
+    def forward_backward(self, inputs, targets) -> list[float]:
+        return self.engine.forward_backward(inputs, targets, self.loss_fn)
+
+    def reduce_gradients(self) -> None:
+        self.engine.reduce_gradients()
+
+    def optimizer_params(self):
+        return [(list(rep.parameters()), buf)
+                for rep, buf in zip(self.engine.replicas, self.engine.buffers)]
+
+    def units(self) -> list[Module]:
+        return self.engine.replicas
+
+    def level_groups(self):
+        return {"tiles": [self.group]}
+
+    def reference_forward(self, model, inputs) -> np.ndarray:
+        from ..core import TiledDownscaler
+        tiled = TiledDownscaler(model, n_tiles=self.group.size,
+                                halo=self.halo, factor=self.factor)
+        return tiled(Tensor(inputs)).data
+
+    def reference_step(self, model, inputs, targets) -> np.ndarray:
+        h, w = inputs.shape[-2:]
+        specs = make_tiles(h, w, self.group.size, self.halo)
+        xt = Tensor(inputs)
+        return _microbatch_mean_grads(model, [
+            (lambda spec=spec:
+             tile_core_loss(model(extract_tile(xt, spec)), spec,
+                            self.factor, targets, self.loss_fn))
+            for spec in specs
+        ])
+
+
+class FSDPStrategy(ParallelStrategy):
+    """Fully sharded data parallelism: shared compute, sharded state."""
+
+    name = "fsdp"
+    trainable = True
+
+    def __init__(self, loss_fn):
+        self.loss_fn = loss_fn
+        self._grad_shards: list[dict[str, np.ndarray]] | None = None
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        self.model = model_factory(0)
+        self.engine = FSDPEngine(self.model, group)
+
+    def forward(self, inputs) -> np.ndarray:
+        self.engine.gather_all()
+        return self.model(Tensor(inputs)).data
+
+    def forward_backward(self, inputs, targets) -> list[float]:
+        self.engine.gather_all()
+        self.model.zero_grad()
+        loss = self.loss_fn(self.model(Tensor(inputs)), Tensor(targets))
+        loss.backward()
+        return [float(loss.data)]
+
+    def reduce_gradients(self) -> None:
+        self._grad_shards = self.engine.reduce_scatter_grads()
+        # write the reduced gradients back into the live model: the mean
+        # of identical contributions is exact, so this is numerically the
+        # reduction itself, and it keeps the unit-gradient interface
+        # uniform across strategies
+        for name, p in self.model.named_parameters():
+            shards = [self._grad_shards[r][name] for r in range(self.group.size)]
+            p.grad = unshard_arrays(shards, p.data.shape)
+
+    def optimizer_params(self):
+        return [(list(self.model.parameters()), None)]
+
+    def units(self) -> list[Module]:
+        return [self.model]
+
+    def apply_sgd(self, lr: float) -> None:
+        # exercise the genuine sharded-update path: per-rank shard SGD,
+        # then an all-gather re-materialises the full weights
+        if self._grad_shards is None:
+            raise RuntimeError("reduce_gradients must run before apply_sgd")
+        self.engine.apply_sharded_update(self._grad_shards, lr)
+
+    def level_groups(self):
+        return {"fsdp": [self.group]}
+
+    def reference_forward(self, model, inputs) -> np.ndarray:
+        return model(Tensor(inputs)).data
+
+    def reference_step(self, model, inputs, targets) -> np.ndarray:
+        return _microbatch_mean_grads(model, [
+            lambda: self.loss_fn(model(Tensor(inputs)), Tensor(targets))
+        ])
+
+
+# --------------------------------------------------------------------- #
+# forward-only adapters
+# --------------------------------------------------------------------- #
+class TensorParallelStrategy(ParallelStrategy):
+    """Megatron MLP: column-parallel fc1 -> GELU -> row-parallel fc2."""
+
+    name = "tp"
+
+    def __init__(self, w1, b1, w2, b2):
+        self._weights = (w1, b1, w2, b2)
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        self.mlp = TensorParallelMLP(*self._weights, group)
+
+    def forward(self, inputs) -> np.ndarray:
+        return self.mlp.forward(inputs)
+
+    def reference(self, inputs) -> np.ndarray:
+        return TensorParallelMLP.reference(inputs, *self._weights)
+
+    def level_groups(self):
+        return {"tp": [self.group]}
+
+
+class UlyssesStrategy(ParallelStrategy):
+    """DeepSpeed-Ulysses attention: four all-to-alls per layer."""
+
+    name = "ulysses"
+
+    def __init__(self, num_heads: int):
+        self.num_heads = num_heads
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        self.attn = UlyssesAttention(group, num_heads=self.num_heads)
+
+    def forward(self, inputs) -> np.ndarray:
+        q, k, v = inputs
+        world = self.group.size
+        shards = self.attn.forward(split_sequence(q, world),
+                                   split_sequence(k, world),
+                                   split_sequence(v, world))
+        return merge_sequence(shards)
+
+    def reference(self, inputs) -> np.ndarray:
+        return self.attn.reference(*inputs)
+
+    def level_groups(self):
+        return {"ulysses": [self.group]}
+
+
+class HybridOpStrategy(ParallelStrategy):
+    """Alternating column/row sharded matrix chain (ORBIT Hybrid-OP)."""
+
+    name = "hybrid_op"
+
+    def __init__(self, weights: list[np.ndarray]):
+        self.weights = weights
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        self.chain = HybridOpChain(self.weights, group)
+
+    def forward(self, inputs) -> np.ndarray:
+        return self.chain.forward(inputs)
+
+    def reference(self, inputs) -> np.ndarray:
+        return self.chain.reference(inputs)
+
+    def level_groups(self):
+        return {"hybrid_op": [self.group]}
+
+
+class PipelineStrategy(ParallelStrategy):
+    """GPipe microbatched stage pipeline (one stage per rank)."""
+
+    name = "pipeline"
+
+    def __init__(self, stages: list[Module], n_microbatches: int = 4):
+        self.stages = stages
+        self.n_microbatches = n_microbatches
+
+    def setup(self, model_factory, group: ProcessGroup) -> None:
+        self.group = group
+        self.pipe = PipelineParallel(self.stages, group)
+
+    def forward(self, inputs) -> np.ndarray:
+        return self.pipe.forward(inputs, self.n_microbatches)
+
+    def reference(self, inputs) -> np.ndarray:
+        return self.pipe.reference(inputs)
+
+    def level_groups(self):
+        return {"pipeline": [self.group]}
+
+
+# --------------------------------------------------------------------- #
+# the composite plan: tp x fsdp x tiles x ddp == world
+# --------------------------------------------------------------------- #
+@dataclass
+class CompositePlan:
+    """Explicit four-factor decomposition of the world.
+
+    Rank layout: ``rank = ((d*tiles + t)*fsdp + f)*tp + p`` — tensor
+    parallelism is innermost (contiguous ranks, fast in-node links),
+    then FSDP (neighbour strides), then the tile index, then the sample
+    index, matching Fig. 5's hierarchy from fastest to slowest link.
+    """
+
+    cluster: VirtualCluster
+    tp: int = 1
+    fsdp: int = 1
+    tiles: int = 1
+    ddp: int = 1
+
+    def __post_init__(self):
+        sizes = (self.tp, self.fsdp, self.tiles, self.ddp)
+        if min(sizes) < 1:
+            raise ValueError(f"all level sizes must be >= 1, got {sizes}")
+        world = self.cluster.world_size
+        if self.tp * self.fsdp * self.tiles * self.ddp != world:
+            raise ValueError(
+                f"tp x fsdp x tiles x ddp = "
+                f"{self.tp}x{self.fsdp}x{self.tiles}x{self.ddp} = "
+                f"{self.tp * self.fsdp * self.tiles * self.ddp} != world {world}"
+            )
+        if self.tp > self.cluster.topology.gpus_per_node:
+            raise ValueError("tensor parallelism must fit within a node")
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_layout(cls, layout: ParallelLayout, tiles: int = 1) -> "CompositePlan":
+        """Refine a :class:`ParallelLayout` into a four-factor plan.
+
+        The layout's algebra (``tp x fsdp = tiles_group``, ``tiles_group
+        x ddp = world``) has no independent tile factor; the plan splits
+        the layout's data-parallel dimension into ``tiles x ddp`` —
+        each sample's tiles land on ``tiles`` adjacent groups (Fig. 5
+        places TILES groups on neighbouring nodes).
+        """
+        if layout.ddp_size % tiles:
+            raise ValueError(
+                f"layout ddp {layout.ddp_size} not divisible by tiles {tiles}"
+            )
+        return cls(cluster=layout.cluster, tp=layout.tp_size,
+                   fsdp=layout.fsdp_size, tiles=tiles,
+                   ddp=layout.ddp_size // tiles)
+
+    @property
+    def world(self) -> int:
+        return self.cluster.world_size
+
+    def rank(self, p: int, f: int, t: int, d: int) -> int:
+        return ((d * self.tiles + t) * self.fsdp + f) * self.tp + p
+
+    # ------------------------------------------------------------------ #
+    # rank sets per level
+    # ------------------------------------------------------------------ #
+    def tp_ranks(self, d: int, t: int, f: int) -> list[int]:
+        return [self.rank(p, f, t, d) for p in range(self.tp)]
+
+    def fsdp_ranks(self, d: int, t: int, p: int) -> list[int]:
+        return [self.rank(p, f, t, d) for f in range(self.fsdp)]
+
+    def tiles_ranks(self, d: int, f: int, p: int) -> list[int]:
+        return [self.rank(p, f, t, d) for t in range(self.tiles)]
+
+    def ddp_ranks(self, t: int, f: int, p: int) -> list[int]:
+        return [self.rank(p, f, t, d) for d in range(self.ddp)]
+
+    def level_rank_sets(self) -> dict[str, list[list[int]]]:
+        """Every level's rank sets (each level partitions the world)."""
+        return {
+            "tp": [self.tp_ranks(d, t, f)
+                   for d in range(self.ddp) for t in range(self.tiles)
+                   for f in range(self.fsdp)],
+            "fsdp": [self.fsdp_ranks(d, t, p)
+                     for d in range(self.ddp) for t in range(self.tiles)
+                     for p in range(self.tp)],
+            "tiles": [self.tiles_ranks(d, f, p)
+                      for d in range(self.ddp) for f in range(self.fsdp)
+                      for p in range(self.tp)],
+            "ddp": [self.ddp_ranks(t, f, p)
+                    for t in range(self.tiles) for f in range(self.fsdp)
+                    for p in range(self.tp)],
+        }
+
+    def validate(self) -> None:
+        """Check each level's groups partition the world exactly."""
+        for level, rank_sets in self.level_rank_sets().items():
+            seen: set[int] = set()
+            for ranks in rank_sets:
+                overlap = seen & set(ranks)
+                assert not overlap, f"{level}: rank reuse {overlap}"
+                seen.update(ranks)
+            assert seen == set(range(self.world)), f"{level}: incomplete partition"
+
+    # ------------------------------------------------------------------ #
+    def level_sizes(self) -> dict[str, int]:
+        return {"tp": self.tp, "fsdp": self.fsdp,
+                "tiles": self.tiles, "ddp": self.ddp}
+
+    def communication_hierarchy(self) -> dict[str, str]:
+        """Widest link each level's traffic crosses (the Fig. 5 picture)."""
+        topo = self.cluster.topology
+
+        def widest(ranks: list[int]) -> str:
+            if len(ranks) == 1:
+                return "local"
+            levels = {topo.link_level(a, b).name
+                      for a in ranks for b in ranks if a != b}
+            for lvl in ("CROSS_NODE", "SAME_NODE", "SAME_CARD"):
+                if lvl in levels:
+                    return lvl
+            return "local"
+
+        return {
+            "tp": widest(self.tp_ranks(0, 0, 0)),
+            "fsdp": widest(self.fsdp_ranks(0, 0, 0)),
+            "tiles": widest(self.tiles_ranks(0, 0, 0)),
+            "ddp": widest(self.ddp_ranks(0, 0, 0)),
+        }
+
+
+# --------------------------------------------------------------------- #
+# the composite strategy: the full Fig. 5 stack, end-to-end
+# --------------------------------------------------------------------- #
+class CompositeStrategy(ParallelStrategy):
+    """TP x FSDP x TILES x DDP executed together on the virtual cluster.
+
+    See the module docstring for the execution and reduction schedule.
+    Collectives run once per tensor-parallel index so every group's
+    byte accounting is real; results are identical across ``p`` (the
+    inputs are), so the last result is used.
+    """
+
+    name = "composite"
+    trainable = True
+
+    def __init__(self, plan: CompositePlan, loss_fn,
+                 halo: int = 2, factor: int = 2):
+        self.plan = plan
+        self.loss_fn = loss_fn
+        self.halo = halo
+        self.factor = factor
+        self.steps = 0
+
+    # ------------------------------------------------------------------ #
+    def setup(self, model_factory, group: ProcessGroup | None = None) -> None:
+        plan = self.plan
+        cluster = plan.cluster
+        n_units = plan.ddp * plan.tiles
+        self._units: list[Module] = [model_factory(u) for u in range(n_units)]
+        state = self._units[0].state_dict()
+        for unit in self._units[1:]:
+            unit.load_state_dict(state)
+        self._buffers = [FlatParamBuffer(list(u.parameters()))
+                         for u in self._units]
+        # one ProcessGroup object per rank set, built once so CommStats
+        # accumulate across steps
+        self._tp_groups = {
+            (d, t, f): cluster.group(plan.tp_ranks(d, t, f))
+            for d in range(plan.ddp) for t in range(plan.tiles)
+            for f in range(plan.fsdp)
+        }
+        self._fsdp_groups = {
+            (d, t, p): cluster.group(plan.fsdp_ranks(d, t, p))
+            for d in range(plan.ddp) for t in range(plan.tiles)
+            for p in range(plan.tp)
+        }
+        self._tiles_groups = {
+            (d, f, p): cluster.group(plan.tiles_ranks(d, f, p))
+            for d in range(plan.ddp) for f in range(plan.fsdp)
+            for p in range(plan.tp)
+        }
+        self._ddp_groups = {
+            (t, f, p): cluster.group(plan.ddp_ranks(t, f, p))
+            for t in range(plan.tiles) for f in range(plan.fsdp)
+            for p in range(plan.tp)
+        }
+
+    def _unit(self, d: int, t: int) -> Module:
+        return self._units[d * self.plan.tiles + t]
+
+    def _buffer(self, d: int, t: int) -> FlatParamBuffer:
+        return self._buffers[d * self.plan.tiles + t]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference: each sample's tiles on its units, stitched."""
+        plan = self.plan
+        if inputs.shape[0] != plan.ddp:
+            raise ValueError(
+                f"batch {inputs.shape[0]} != data-parallel ways {plan.ddp}")
+        h, w = inputs.shape[-2:]
+        outs = []
+        for d in range(plan.ddp):
+            x = Tensor(inputs[d: d + 1])
+            if plan.tiles == 1:
+                outs.append(self._unit(d, 0)(x).data)
+                continue
+            specs = make_tiles(h, w, plan.tiles, self.halo)
+            tile_outs = [self._unit(d, t)(extract_tile(x, spec))
+                         for t, spec in enumerate(specs)]
+            outs.append(stitch_tiles(tile_outs, specs, self.factor).data)
+        return np.concatenate(outs)
+
+    def forward_backward(self, inputs: np.ndarray, targets: np.ndarray,
+                         loss_fn=None) -> list[float]:
+        loss_fn = loss_fn or self.loss_fn
+        plan = self.plan
+        if inputs.shape[0] != plan.ddp:
+            raise ValueError(
+                f"batch {inputs.shape[0]} != data-parallel ways {plan.ddp}")
+        h, w = inputs.shape[-2:]
+        specs = make_tiles(h, w, plan.tiles, self.halo) if plan.tiles > 1 else None
+        losses = []
+        for d in range(plan.ddp):
+            x = Tensor(inputs[d: d + 1])
+            for t in range(plan.tiles):
+                unit, buf = self._unit(d, t), self._buffer(d, t)
+                buf.zero_grad()
+                if specs is None:
+                    out = unit(x)
+                    loss = loss_fn(out, Tensor(targets[d: d + 1]))
+                else:
+                    spec = specs[t]
+                    out = unit(extract_tile(x, spec))
+                    loss = tile_core_loss(out, spec, self.factor,
+                                          targets[d: d + 1], loss_fn)
+                loss.backward()
+                buf.sync_grads()
+                self._record_tp_traffic(unit, out.data.nbytes, d, t)
+                losses.append(float(loss.data))
+        return losses
+
+    def _record_tp_traffic(self, unit: Module, act_nbytes: int,
+                           d: int, t: int) -> None:
+        """Model the Megatron per-layer all-reduce bill on the TP groups.
+
+        TP compute is shared within a unit (no sharded numerics to run),
+        so the traffic is *modelled*, not executed: 2 all-reduces per
+        layer forward + 2 backward, ring volume 2(P-1)/P of the layer
+        activation, recorded under ``modeled_all_reduce``.
+        """
+        P = self.plan.tp
+        if P == 1:
+            return
+        depth = getattr(getattr(unit, "config", None), "depth", 1)
+        volume = 4 * depth * 2 * (P - 1) / P * act_nbytes
+        for f in range(self.plan.fsdp):
+            self._tp_groups[(d, t, f)].stats.record("modeled_all_reduce", volume)
+
+    # ------------------------------------------------------------------ #
+    # the four-phase reduction
+    # ------------------------------------------------------------------ #
+    def reduce_gradients(self) -> None:
+        plan = self.plan
+        P, F, T, D = plan.tp, plan.fsdp, plan.tiles, plan.ddp
+        # phase 1 — FSDP reduce-scatter: every rank of a unit contributes
+        # the (identical) unit gradient and keeps its own shard.  The
+        # float64 accumulation of identical contributions is exact.
+        shards: dict[tuple[int, int], list[np.ndarray]] = {}
+        for d in range(D):
+            for t in range(T):
+                padded = self._buffer(d, t).padded_grad(F).reshape(F, -1)
+                contributions = [padded] * F
+                for p in range(P):
+                    result = self._fsdp_groups[(d, t, p)].reduce_scatter(
+                        contributions, op="mean")
+                shards[(d, t)] = [r.reshape(-1) for r in result]
+        # phase 2 — TILES all-reduce: average each shard across the tiles
+        # of one sample (the once-per-batch collective of Sec. III-B)
+        for d in range(D):
+            for f in range(F):
+                bufs = [shards[(d, t)][f] for t in range(T)]
+                for p in range(P):
+                    result = self._tiles_groups[(d, f, p)].all_reduce(
+                        bufs, op="mean")
+                for t in range(T):
+                    shards[(d, t)][f] = result[t]
+        # phase 3 — DDP all-reduce: average across samples
+        for t in range(T):
+            for f in range(F):
+                bufs = [shards[(d, t)][f] for d in range(D)]
+                for p in range(P):
+                    result = self._ddp_groups[(t, f, p)].all_reduce(
+                        bufs, op="mean")
+                for d in range(D):
+                    shards[(d, t)][f] = result[d]
+        # phase 4 — FSDP all-gather: re-materialise the averaged flat
+        # gradient straight into each unit's buffer (zero per-param copies)
+        for d in range(D):
+            for t in range(T):
+                for p in range(P):
+                    result = self._fsdp_groups[(d, t, p)].all_gather(
+                        shards[(d, t)])
+                self._buffer(d, t).load_grad(result[0])
+        self.steps += 1
+
+    # ------------------------------------------------------------------ #
+    def optimizer_params(self):
+        return [(list(u.parameters()), buf)
+                for u, buf in zip(self._units, self._buffers)]
+
+    def units(self) -> list[Module]:
+        return self._units
+
+    def buffers(self) -> list[FlatParamBuffer]:
+        return self._buffers
+
+    def assert_units_synchronized(self, atol: float = 0.0) -> None:
+        ref = self._units[0].state_dict()
+        for i, unit in enumerate(self._units[1:], start=1):
+            for name, arr in unit.state_dict().items():
+                if not np.allclose(arr, ref[name], atol=atol):
+                    raise AssertionError(f"unit {i} drifted on {name}")
+
+    # ------------------------------------------------------------------ #
+    def level_groups(self):
+        return {
+            "tp": list(self._tp_groups.values()),
+            "fsdp": list(self._fsdp_groups.values()),
+            "tiles": list(self._tiles_groups.values()),
+            "ddp": list(self._ddp_groups.values()),
+        }
+
+    def comm_summary(self) -> dict:
+        out = super().comm_summary()
+        out["steps"] = self.steps
+        out["per_step"] = {
+            level: (out[f"{level}_level_bytes"] / self.steps
+                    if self.steps else 0.0)
+            for level in ("tp", "fsdp", "tiles", "ddp")
+        }
+        return out
+
+    def reset_comm(self) -> None:
+        super().reset_comm()
+        self.steps = 0
+
+    # ------------------------------------------------------------------ #
+    # single-rank reference semantics
+    # ------------------------------------------------------------------ #
+    def reference_forward(self, model, inputs) -> np.ndarray:
+        from ..core import TiledDownscaler
+        plan = self.plan
+        outs = []
+        for d in range(plan.ddp):
+            x = Tensor(inputs[d: d + 1])
+            if plan.tiles == 1:
+                outs.append(model(x).data)
+            else:
+                tiled = TiledDownscaler(model, n_tiles=plan.tiles,
+                                        halo=self.halo, factor=self.factor)
+                outs.append(tiled(x).data)
+        return np.concatenate(outs)
+
+    def reference_step(self, model, inputs, targets) -> np.ndarray:
+        plan = self.plan
+        h, w = inputs.shape[-2:]
+        specs = make_tiles(h, w, plan.tiles, self.halo) if plan.tiles > 1 else None
+        thunks = []
+        for d in range(plan.ddp):
+            xt = Tensor(inputs[d: d + 1])
+            if specs is None:
+                thunks.append(
+                    lambda xt=xt, d=d:
+                    self.loss_fn(model(xt), Tensor(targets[d: d + 1])))
+            else:
+                for spec in specs:
+                    thunks.append(
+                        lambda xt=xt, d=d, spec=spec:
+                        tile_core_loss(model(extract_tile(xt, spec)), spec,
+                                       self.factor, targets[d: d + 1],
+                                       self.loss_fn))
+        return _microbatch_mean_grads(model, thunks)

@@ -102,6 +102,36 @@ class FlatParamBuffer:
                 gview[...] = p.grad
             p.grad = gview
 
+    def padded_size(self, multiple: int) -> int:
+        """Flat size rounded up to a multiple (FSDP shard alignment)."""
+        if multiple < 1:
+            raise ValueError("multiple must be >= 1")
+        return -(-self.size // multiple) * multiple
+
+    def padded_grad(self, multiple: int) -> np.ndarray:
+        """The flat gradient, zero-padded to a multiple of ``multiple``.
+
+        Returns the live buffer itself when already aligned (zero-copy);
+        collectives in :mod:`repro.distributed.comm` never mutate their
+        input buffers, so sharing is safe.
+        """
+        padded = self.padded_size(multiple)
+        if padded == self.size:
+            return self.grad
+        out = np.zeros(padded, dtype=np.float32)
+        out[: self.size] = self.grad
+        return out
+
+    def load_grad(self, flat: np.ndarray) -> None:
+        """Write a flat (possibly padded) gradient back into the buffer.
+
+        The pre-attached per-parameter ``.grad`` views see the new values
+        immediately — no per-parameter unflatten copies.
+        """
+        if flat.size < self.size:
+            raise ValueError(f"gradient of {flat.size} < buffer of {self.size}")
+        self.grad[...] = flat.reshape(-1)[: self.size]
+
     def sync_data(self) -> None:
         """Copy back any ``p.data`` that was re-pointed away from its view.
 

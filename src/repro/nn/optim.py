@@ -33,17 +33,26 @@ class Optimizer:
     With ``flatten=True`` the parameters are moved onto a shared
     :class:`FlatParamBuffer` (``self.flat``) and ``zero_grad`` zeroes the
     flat gradient buffer in one memset, keeping the pre-attached views
-    alive for the backward pass's in-place accumulation.
+    alive for the backward pass's in-place accumulation.  Passing an
+    existing buffer via ``flat=`` *adopts* it instead of wrapping the
+    parameters a second time — the path distributed strategies use so
+    optimizer steps and gradient collectives share one allocation.
     """
 
-    def __init__(self, params: list[Parameter], lr: float, flatten: bool = False):
+    def __init__(self, params: list[Parameter], lr: float, flatten: bool = False,
+                 flat: FlatParamBuffer | None = None):
         self.params = list(params)
         if not self.params:
             raise ValueError("optimizer got an empty parameter list")
         self.lr = float(lr)
-        self.flat: FlatParamBuffer | None = (
-            FlatParamBuffer(self.params) if flatten else None
-        )
+        if flat is not None:
+            if len(flat.params) != len(self.params) or any(
+                a is not b for a, b in zip(flat.params, self.params)
+            ):
+                raise ValueError("adopted FlatParamBuffer wraps different parameters")
+            self.flat: FlatParamBuffer | None = flat
+        else:
+            self.flat = FlatParamBuffer(self.params) if flatten else None
 
     def zero_grad(self) -> None:
         if self.flat is not None:
@@ -60,8 +69,8 @@ class SGD(Optimizer):
     """Plain SGD with optional momentum."""
 
     def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0,
-                 flatten: bool = False):
-        super().__init__(params, lr, flatten=flatten)
+                 flatten: bool = False, flat: FlatParamBuffer | None = None):
+        super().__init__(params, lr, flatten=flatten, flat=flat)
         self.momentum = momentum
         if self.flat is not None:
             self._velocity = [np.zeros_like(self.flat.data)]
@@ -96,8 +105,8 @@ class AdamW(Optimizer):
 
     def __init__(self, params, lr: float = 1e-3, betas: tuple[float, float] = (0.9, 0.999),
                  eps: float = 1e-8, weight_decay: float = 0.01,
-                 flatten: bool = False):
-        super().__init__(params, lr, flatten=flatten)
+                 flatten: bool = False, flat: FlatParamBuffer | None = None):
+        super().__init__(params, lr, flatten=flatten, flat=flat)
         self.beta1, self.beta2 = betas
         self.eps = eps
         self.weight_decay = weight_decay

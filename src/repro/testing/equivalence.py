@@ -7,6 +7,13 @@ a tiny Reslim (or the strategy's natural micro-workload) under a
 single-rank reference path and under one of the simulated-cluster
 engines, then compares outputs, gradients, and post-SGD-step parameters.
 
+Every strategy is driven through the uniform
+:class:`~repro.distributed.strategy.ParallelStrategy` interface, so the
+oracle has exactly two runners — one for trainable strategies (output,
+gradients, params) and one for forward-only engines (output) — plus a
+per-strategy :class:`OracleSpec` that builds the strategy and its
+micro-workload.  Adding a parallelism to the oracle is one table entry.
+
 Exactness tiers (recorded per comparison in the returned report):
 
 * **bit-for-bit** — byte-identical arrays.  Holds wherever no collective
@@ -26,23 +33,29 @@ that want to *assert* bit-exactness where it is guaranteed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from ..core import ModelConfig, Reslim, TiledDownscaler
-from ..core.tiles import extract_tile, make_tiles
+from ..core import ModelConfig, Reslim
 from ..distributed import (
     DistributedDataParallel,
-    FSDPEngine,
-    HybridOpChain,
-    TensorParallelMLP,
-    TilesSequenceParallel,
-    UlyssesAttention,
     VirtualCluster,
     flatten_grads,
 )
-from ..distributed.fsdp import unshard_arrays
-from ..distributed.ulysses import merge_sequence, split_sequence
+from ..distributed.strategy import (
+    CompositePlan,
+    CompositeStrategy,
+    DDPStrategy,
+    FSDPStrategy,
+    HybridOpStrategy,
+    ParallelStrategy,
+    PipelineStrategy,
+    TensorParallelStrategy,
+    TilesStrategy,
+    UlyssesStrategy,
+)
+from ..nn import Linear
 from ..tensor import Tensor
 
 __all__ = [
@@ -50,12 +63,15 @@ __all__ = [
     "Comparison",
     "EquivalenceReport",
     "EquivalenceFailure",
+    "OracleSpec",
     "check_parallel_equivalence",
     "oracle_config",
 ]
 
 #: Every strategy the oracle knows how to drive.
-PARALLELISMS: tuple[str, ...] = ("ddp", "fsdp", "tp", "ulysses", "hybrid_op", "tiles")
+PARALLELISMS: tuple[str, ...] = (
+    "ddp", "fsdp", "tp", "ulysses", "hybrid_op", "tiles", "pipeline", "composite",
+)
 
 #: (rtol, atol) per strategy — float32 ring-reduction rounding for most;
 #: Hybrid-OP compares against a float64 reference so it needs headroom.
@@ -66,6 +82,19 @@ _TOLERANCES: dict[str, tuple[float, float]] = {
     "ulysses": (1e-4, 1e-5),
     "hybrid_op": (1e-3, 1e-4),
     "tiles": (1e-4, 1e-5),
+    "pipeline": (1e-4, 1e-5),
+    "composite": (1e-4, 1e-5),
+}
+
+#: world → (tp, fsdp, tiles, ddp) for the composite oracle runs.  Chosen
+#: so every level with headroom is exercised: world 8 runs a genuine
+#: three-level FSDP×TILES×DDP stack, world 16 adds tensor parallelism.
+_COMPOSITE_FACTORS: dict[int, tuple[int, int, int, int]] = {
+    1: (1, 1, 1, 1),
+    2: (1, 1, 2, 1),
+    4: (1, 1, 2, 2),
+    8: (1, 2, 2, 2),
+    16: (2, 2, 2, 2),
 }
 
 
@@ -137,6 +166,20 @@ def _sgd(model, lr: float) -> None:
             p.data -= lr * p.grad
 
 
+def flatten_params(model) -> np.ndarray:
+    """Concatenate all parameters into one flat float32 vector."""
+    return np.concatenate([p.data.reshape(-1) for p in model.parameters()]).astype(np.float32)
+
+
+def _apply_flat_sgd(model, flat_grads: np.ndarray, lr: float) -> None:
+    """SGD on a model from a flat gradient vector (the reference step)."""
+    offset = 0
+    for p in model.parameters():
+        n = p.data.size
+        p.data -= lr * flat_grads[offset:offset + n].reshape(p.data.shape)
+        offset += n
+
+
 def _compare(quantity: str, actual: np.ndarray, expected: np.ndarray,
              rtol: float, atol: float, context: str) -> Comparison:
     actual = np.asarray(actual)
@@ -157,99 +200,60 @@ def _compare(quantity: str, actual: np.ndarray, expected: np.ndarray,
 
 
 # --------------------------------------------------------------------- #
-# per-strategy runners
+# the per-strategy table: how to build each strategy's micro-workload
 # --------------------------------------------------------------------- #
-def _run_ddp(world, config, seed, lr, rtol, atol):
-    rng = np.random.default_rng(seed)
+@dataclass(frozen=True)
+class OracleSpec:
+    """One oracle entry: a builder plus the note for its report."""
+
+    build: Callable  # (world, config, seed, rng) -> (strategy, data)
+    note: str
+
+
+def _diverse_factory(config: ModelConfig, seed: int):
+    """Replica factory with deliberately diverse init seeds: the engines
+    must broadcast rank 0's weights for the oracle to pass."""
+    return lambda r: _make_model(config, seed if r == 0 else seed + 100 + r)
+
+
+def _build_ddp(world, config, seed, rng):
     batch = int(np.lcm(8, world))
     x = rng.standard_normal((batch, 2, 8, 8)).astype(np.float32)
     y = rng.standard_normal((batch, 1, 16, 16)).astype(np.float32)
-
-    ref = _make_model(config, seed)
-    ref_out = ref(Tensor(x))
-    loss = _mse(ref_out, Tensor(y))
-    loss.backward()
-    ref_grads = flatten_grads(ref)
-    _sgd(ref, lr)
-    ref_params = flatten_params(ref)
-
-    # deliberately diverse init seeds: DDP must broadcast rank 0's weights
-    replicas = [_make_model(config, seed if r == 0 else seed + 100 + r)
-                for r in range(world)]
-    group = VirtualCluster(world).world_group()
-    ddp = DistributedDataParallel(replicas, group, _mse)
-    # per-rank forwards on the batch shards, before the step mutates grads
-    shard_outs = [rep(Tensor(xs)).data
-                  for rep, xs in zip(replicas, np.array_split(x, world))]
-    ddp.step_gradients(x, y)
-    ctx = f"ddp@world={world}"
-    comparisons = [
-        _compare("output", np.concatenate(shard_outs), ref_out.data,
-                 rtol, atol, ctx),
-        _compare("gradients", flatten_grads(replicas[0]), ref_grads,
-                 rtol, atol, ctx),
-    ]
-    for rep in replicas:
-        _sgd(rep, lr)
-    comparisons.append(_compare("params", flatten_params(replicas[0]), ref_params,
-                                rtol, atol, ctx))
-    note = "gradients averaged by ring all-reduce; float32 chunk order"
-    return comparisons, note
+    strat = DDPStrategy(_mse)
+    strat.setup(_diverse_factory(config, seed), VirtualCluster(world).world_group())
+    return strat, (x, y)
 
 
-def flatten_params(model) -> np.ndarray:
-    """Concatenate all parameters into one flat float32 vector."""
-    return np.concatenate([p.data.reshape(-1) for p in model.parameters()]).astype(np.float32)
-
-
-def _run_fsdp(world, config, seed, lr, rtol, atol):
-    rng = np.random.default_rng(seed)
+def _build_fsdp(world, config, seed, rng):
     x = rng.standard_normal((4, 2, 8, 8)).astype(np.float32)
     y = rng.standard_normal((4, 1, 16, 16)).astype(np.float32)
-
-    ref = _make_model(config, seed)
-    ref_out = ref(Tensor(x))
-    loss = _mse(ref_out, Tensor(y))
-    loss.backward()
-    ref_grads = {
-        n: (p.grad.copy() if p.grad is not None else np.zeros_like(p.data))
-        for n, p in ref.named_parameters()
-    }
-    _sgd(ref, lr)
-    ref_params = {n: p.data.copy() for n, p in ref.named_parameters()}
-
-    net = _make_model(config, seed)
-    group = VirtualCluster(world).world_group()
-    engine = FSDPEngine(net, group)
-    engine.gather_all()
-    net.zero_grad()
-    out = net(Tensor(x))
-    _mse(out, Tensor(y)).backward()
-    grad_shards = engine.reduce_scatter_grads()
-
-    ctx = f"fsdp@world={world}"
-    comparisons = [_compare("output", out.data, ref_out.data, rtol, atol, ctx)]
-    # reassemble each parameter's gradient from its per-rank shards
-    max_err, exact = 0.0, True
-    for name, g_ref in ref_grads.items():
-        shards = [grad_shards[r][name] for r in range(world)]
-        g = unshard_arrays(shards, g_ref.shape)
-        c = _compare(f"gradients[{name}]", g, g_ref, rtol, atol, ctx)
-        max_err, exact = max(max_err, c.max_abs_err), exact and c.bit_exact
-    comparisons.append(Comparison("gradients", max_err, exact))
-
-    engine.apply_sharded_update(grad_shards, lr)
-    max_err, exact = 0.0, True
-    for name, p in net.named_parameters():
-        c = _compare(f"params[{name}]", p.data, ref_params[name], rtol, atol, ctx)
-        max_err, exact = max(max_err, c.max_abs_err), exact and c.bit_exact
-    comparisons.append(Comparison("params", max_err, exact))
-    note = "reduce-scatter accumulates in float64; identical contributions → exact"
-    return comparisons, note
+    strat = FSDPStrategy(_mse)
+    strat.setup(lambda r: _make_model(config, seed),
+                VirtualCluster(world).world_group())
+    return strat, (x, y)
 
 
-def _run_tp(world, config, seed, lr, rtol, atol):
-    rng = np.random.default_rng(seed)
+def _build_tiles(world, config, seed, rng):
+    x = rng.standard_normal((1, 2, 16, 16)).astype(np.float32)
+    y = rng.standard_normal((1, 1, 32, 32)).astype(np.float32)
+    strat = TilesStrategy(_mse, halo=2, factor=2)
+    strat.setup(_diverse_factory(config, seed), VirtualCluster(world).world_group())
+    return strat, (x, y)
+
+
+def _build_composite(world, config, seed, rng):
+    tp, fsdp, tiles, ddp = _COMPOSITE_FACTORS.get(world, (1, 1, 1, world))
+    plan = CompositePlan(VirtualCluster(world), tp=tp, fsdp=fsdp,
+                         tiles=tiles, ddp=ddp)
+    x = rng.standard_normal((ddp, 2, 16, 16)).astype(np.float32)
+    y = rng.standard_normal((ddp, 1, 32, 32)).astype(np.float32)
+    strat = CompositeStrategy(plan, _mse, halo=2, factor=2)
+    strat.setup(_diverse_factory(config, seed))
+    return strat, (x, y)
+
+
+def _build_tp(world, config, seed, rng):
     d = config.embed_dim
     hidden = int(config.mlp_ratio * d)
     w1 = rng.standard_normal((hidden, d)).astype(np.float32) * 0.3
@@ -257,110 +261,94 @@ def _run_tp(world, config, seed, lr, rtol, atol):
     w2 = rng.standard_normal((d, hidden)).astype(np.float32) * 0.3
     b2 = rng.standard_normal(d).astype(np.float32)
     x = rng.standard_normal((5, d)).astype(np.float32)
-
-    group = VirtualCluster(world).world_group()
-    mlp = TensorParallelMLP(w1, b1, w2, b2, group)
-    out = mlp.forward(x)
-    ref = TensorParallelMLP.reference(x, w1, b1, w2, b2)
-    comparisons = [_compare("output", out, ref, rtol, atol, f"tp@world={world}")]
-    note = "forward-only engine: one all-reduce of row-parallel partials"
-    return comparisons, note
+    strat = TensorParallelStrategy(w1, b1, w2, b2)
+    strat.setup(None, VirtualCluster(world).world_group())
+    return strat, x
 
 
-def _run_ulysses(world, config, seed, lr, rtol, atol):
-    rng = np.random.default_rng(seed)
+def _build_ulysses(world, config, seed, rng):
     heads = config.num_heads
     head_dim = config.embed_dim // heads
-    seq = 16
-    q, k, v = (rng.standard_normal((seq, heads, head_dim)).astype(np.float32)
+    q, k, v = (rng.standard_normal((16, heads, head_dim)).astype(np.float32)
                for _ in range(3))
-
-    group = VirtualCluster(world).world_group()
-    ul = UlyssesAttention(group, num_heads=heads)
-    out_shards = ul.forward(split_sequence(q, world), split_sequence(k, world),
-                            split_sequence(v, world))
-    out = merge_sequence(out_shards)
-    ref = ul.reference(q, k, v)
-    comparisons = [_compare("output", out, ref, rtol, atol,
-                            f"ulysses@world={world}")]
-    note = "per-head attention is rank-local; all-to-alls only permute data"
-    return comparisons, note
+    strat = UlyssesStrategy(num_heads=heads)
+    strat.setup(None, VirtualCluster(world).world_group())
+    return strat, (q, k, v)
 
 
-def _run_hybrid_op(world, config, seed, lr, rtol, atol):
-    rng = np.random.default_rng(seed)
+def _build_hybrid_op(world, config, seed, rng):
     d = config.embed_dim
     hidden = int(config.mlp_ratio * d)
     dims = [d, hidden, d, hidden, d]
     weights = [rng.standard_normal((dims[i + 1], dims[i])).astype(np.float32) * 0.3
                for i in range(len(dims) - 1)]
     x = rng.standard_normal((3, d)).astype(np.float32)
-
-    group = VirtualCluster(world).world_group()
-    chain = HybridOpChain(weights, group)
-    comparisons = [_compare("output", chain.forward(x), chain.reference(x),
-                            rtol, atol, f"hybrid_op@world={world}")]
-    note = "reference runs in float64, so agreement is tolerance-bounded by design"
-    return comparisons, note
+    strat = HybridOpStrategy(weights)
+    strat.setup(None, VirtualCluster(world).world_group())
+    return strat, x
 
 
-def _run_tiles(world, config, seed, lr, rtol, atol):
-    rng = np.random.default_rng(seed)
-    halo, factor = 2, 2
-    x = rng.standard_normal((1, 2, 16, 16)).astype(np.float32)
-    y = rng.standard_normal((1, 1, 32, 32)).astype(np.float32)
-
-    ref = _make_model(config, seed)
-    serial_out = TiledDownscaler(ref, n_tiles=world, halo=halo, factor=factor)(Tensor(x))
-
-    # serial reference for the gradient step: same per-tile loop on ONE
-    # model, averaging tile gradients in float64 (mirrors the all-reduce)
-    specs = make_tiles(16, 16, world, halo)
-    tile_grads = []
-    for spec in specs:
-        ref.zero_grad()
-        out = ref(extract_tile(Tensor(x), spec))
-        top, left = (spec.y0 - spec.hy0) * factor, (spec.x0 - spec.hx0) * factor
-        ch, cw = spec.core_shape
-        core = out[:, :, top:top + ch * factor, left:left + cw * factor]
-        tile_target = Tensor(y[:, :, spec.y0 * factor:spec.y1 * factor,
-                               spec.x0 * factor:spec.x1 * factor])
-        _mse(core, tile_target).backward()
-        tile_grads.append(flatten_grads(ref).astype(np.float64))
-    ref_grads = np.mean(tile_grads, axis=0).astype(np.float32)
-    offset = 0
-    for p in ref.parameters():
-        n = p.data.size
-        p.data -= lr * ref_grads[offset:offset + n].reshape(p.data.shape)
-        offset += n
-    ref_params = flatten_params(ref)
-
-    replicas = [_make_model(config, seed if r == 0 else seed + 100 + r)
-                for r in range(world)]
-    group = VirtualCluster(world).world_group()
-    tsp = TilesSequenceParallel(replicas, group, halo=halo, factor=factor)
-    ctx = f"tiles@world={world}"
-    comparisons = [_compare("output", tsp.forward(x), serial_out.data,
-                            rtol, atol, ctx)]
-    tsp.step_gradients(x, y, _mse)
-    comparisons.append(_compare("gradients", flatten_grads(replicas[0]),
-                                ref_grads, rtol, atol, ctx))
-    for rep in replicas:
-        _sgd(rep, lr)
-    comparisons.append(_compare("params", flatten_params(replicas[0]),
-                                ref_params, rtol, atol, ctx))
-    note = "reference is the serial TiledDownscaler (same tiling, one rank)"
-    return comparisons, note
+def _build_pipeline(world, config, seed, rng):
+    d = config.embed_dim
+    stages = [Linear(d, d, rng=np.random.default_rng(seed + s))
+              for s in range(world)]
+    x = rng.standard_normal((8, d)).astype(np.float32)
+    strat = PipelineStrategy(stages, n_microbatches=4)
+    strat.setup(None, VirtualCluster(world).world_group())
+    return strat, x
 
 
-_RUNNERS = {
-    "ddp": _run_ddp,
-    "fsdp": _run_fsdp,
-    "tp": _run_tp,
-    "ulysses": _run_ulysses,
-    "hybrid_op": _run_hybrid_op,
-    "tiles": _run_tiles,
+_SPECS: dict[str, OracleSpec] = {
+    "ddp": OracleSpec(
+        _build_ddp, "gradients averaged by ring all-reduce; float32 chunk order"),
+    "fsdp": OracleSpec(
+        _build_fsdp,
+        "reduce-scatter accumulates in float64; identical contributions → exact"),
+    "tp": OracleSpec(
+        _build_tp, "forward-only engine: one all-reduce of row-parallel partials"),
+    "ulysses": OracleSpec(
+        _build_ulysses,
+        "per-head attention is rank-local; all-to-alls only permute data"),
+    "hybrid_op": OracleSpec(
+        _build_hybrid_op,
+        "reference runs in float64, so agreement is tolerance-bounded by design"),
+    "tiles": OracleSpec(
+        _build_tiles, "reference is the serial TiledDownscaler (same tiling, one rank)"),
+    "pipeline": OracleSpec(
+        _build_pipeline,
+        "microbatched stage streaming; reference is unpartitioned execution"),
+    "composite": OracleSpec(
+        _build_composite,
+        "TP×FSDP×TILES×DDP composed; reference is the per-(sample, tile) "
+        "float64 gradient mean"),
 }
+
+
+# --------------------------------------------------------------------- #
+# the two generic runners
+# --------------------------------------------------------------------- #
+def _run_forward_only(strategy: ParallelStrategy, data, rtol, atol, ctx):
+    return [_compare("output", strategy.forward(data), strategy.reference(data),
+                     rtol, atol, ctx)]
+
+
+def _run_trainable(strategy: ParallelStrategy, data, config, seed, lr,
+                   rtol, atol, ctx):
+    x, y = data
+    ref = _make_model(config, seed)
+    comparisons = [
+        _compare("output", strategy.forward(x),
+                 strategy.reference_forward(ref, x), rtol, atol, ctx)
+    ]
+    strategy.step(x, y)
+    ref_grads = strategy.reference_step(ref, x, y)
+    comparisons.append(_compare("gradients", strategy.unit_grads(0),
+                                ref_grads, rtol, atol, ctx))
+    strategy.apply_sgd(lr)
+    _apply_flat_sgd(ref, ref_grads, lr)
+    comparisons.append(_compare("params", strategy.unit_params(0),
+                                flatten_params(ref), rtol, atol, ctx))
+    return comparisons
 
 
 def check_parallel_equivalence(strategy: str, world: int,
@@ -374,14 +362,21 @@ def check_parallel_equivalence(strategy: str, world: int,
     returns an :class:`EquivalenceReport` whose per-quantity
     ``bit_exact`` flags record where agreement was byte-identical.
     """
-    if strategy not in _RUNNERS:
-        raise ValueError(f"unknown strategy {strategy!r}; known: {sorted(_RUNNERS)}")
+    if strategy not in _SPECS:
+        raise ValueError(f"unknown strategy {strategy!r}; known: {sorted(_SPECS)}")
     if world < 1:
         raise ValueError("world must be >= 1")
     config = config or oracle_config()
     d_rtol, d_atol = _TOLERANCES[strategy]
     rtol = d_rtol if rtol is None else rtol
     atol = d_atol if atol is None else atol
-    comparisons, note = _RUNNERS[strategy](world, config, seed, lr, rtol, atol)
+    spec = _SPECS[strategy]
+    rng = np.random.default_rng(seed)
+    strat, data = spec.build(world, config, seed, rng)
+    ctx = f"{strategy}@world={world}"
+    if strat.trainable:
+        comparisons = _run_trainable(strat, data, config, seed, lr, rtol, atol, ctx)
+    else:
+        comparisons = _run_forward_only(strat, data, rtol, atol, ctx)
     return EquivalenceReport(strategy=strategy, world=world,
-                             comparisons=comparisons, notes=note)
+                             comparisons=comparisons, notes=spec.note)

@@ -1,12 +1,15 @@
 """Training, inference, and profiling harness."""
 
 from .distributed_trainer import OrthogonalTrainer
+from .engine import DistributedEngine, mse_loss
 from .inference import evaluate_downscaling, global_inference, predict_dataset
 from .profiler import measure_sample_flops, parameter_bytes, profile_model
 from .trainer import TrainConfig, Trainer, load_checkpoint, save_checkpoint
 
 __all__ = [
     "Trainer",
+    "DistributedEngine",
+    "mse_loss",
     "OrthogonalTrainer",
     "TrainConfig",
     "save_checkpoint",

@@ -1,33 +1,30 @@
-"""Distributed training orchestration: the full Fig. 5 stack end-to-end.
+"""DDP × TILES-SP training — now a thin shim over the strategy layer.
 
-Composes the virtual cluster's parallelisms the way the paper maps them
-onto Frontier: the world is partitioned into TILES sequence-parallel
-groups (each group serves one sample, one tile per rank); groups are
-data-parallel (DDP) over the batch; after every group reduces its tile
-gradients, a cross-group all-reduce completes the global average — the
-two gradient averagings compose into exactly the single-process gradient
-of the whole batch, which the tests verify.
-
-This is the training path the exascale numbers describe, executable on a
-laptop because ranks are virtual.
+.. deprecated::
+    :class:`OrthogonalTrainer` predates the unified strategy layer and is
+    kept as a back-compatible façade.  All execution — per-tile
+    forward/backward, the two-level gradient reduction, the flat-buffer
+    routing — lives in :class:`~repro.distributed.strategy.CompositeStrategy`
+    (this trainer is the ``tp=1, fsdp=1`` special case of the full Fig. 5
+    stack).  New code should use
+    :class:`~repro.train.engine.DistributedEngine`, which also brings the
+    AMP/clip/schedule machinery of :class:`~repro.train.trainer.Trainer`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..core.tiles import extract_tile, make_tiles
 from ..data.datasets import DownscalingDataset
 from ..distributed.comm import ProcessGroup, VirtualCluster
-from ..distributed.ddp import flatten_grads, unflatten_to_grads
-from ..nn import Module, SGD
-from ..tensor import Tensor
+from ..distributed.strategy import CompositePlan, CompositeStrategy
+from ..nn import SGD
 
 __all__ = ["OrthogonalTrainer"]
 
 
 class OrthogonalTrainer:
-    """DDP × TILES-SP training on the virtual cluster.
+    """DDP × TILES-SP training on the virtual cluster (legacy façade).
 
     Parameters
     ----------
@@ -53,18 +50,26 @@ class OrthogonalTrainer:
         self.halo = halo
         self.factor = factor
         self.ddp_ways = world // tiles_per_sample
-        self.replicas: list[Module] = [model_factory() for _ in range(world)]
-        state = self.replicas[0].state_dict()
-        for rep in self.replicas[1:]:
-            rep.load_state_dict(state)
-        # group construction mirrors ParallelLayout: contiguous TILES
-        # groups, strided DDP groups
-        self.tiles_groups: list[ProcessGroup] = cluster.contiguous_groups(tiles_per_sample)
-        self.ddp_groups: list[ProcessGroup] = [
-            cluster.group(list(range(offset, world, tiles_per_sample)))
-            for offset in range(tiles_per_sample)
+        plan = CompositePlan(cluster, tp=1, fsdp=1, tiles=tiles_per_sample,
+                             ddp=self.ddp_ways)
+        self.strategy = CompositeStrategy(plan, loss_fn=None,
+                                          halo=halo, factor=factor)
+        self.strategy.setup(lambda unit: model_factory())
+        # legacy views: unit (d, t) sits at rank d*tiles + t, exactly the
+        # old contiguous-TILES / strided-DDP placement
+        self.replicas = self.strategy.units()
+        self.tiles_groups: list[ProcessGroup] = [
+            self.strategy._tiles_groups[(d, 0, 0)] for d in range(self.ddp_ways)
         ]
-        self.optimizers = [SGD(rep.parameters(), lr=lr) for rep in self.replicas]
+        self.ddp_groups: list[ProcessGroup] = [
+            self.strategy._ddp_groups[(t, 0, 0)] for t in range(tiles_per_sample)
+        ]
+        # optimizers adopt the strategy's flat buffers: the SGD update is
+        # one vectorised axpy over the same storage the collectives use
+        self.optimizers = [
+            SGD(params, lr=lr, flat=buf)
+            for params, buf in self.strategy.optimizer_params()
+        ]
 
     # ------------------------------------------------------------------ #
     def step(self, inputs: np.ndarray, targets: np.ndarray, loss_fn) -> float:
@@ -73,43 +78,8 @@ class OrthogonalTrainer:
         Returns the mean loss.  Afterwards every replica holds identical
         weights (verified by ``assert_synchronized``).
         """
-        if inputs.shape[0] != self.ddp_ways:
-            raise ValueError(
-                f"batch {inputs.shape[0]} != data-parallel ways {self.ddp_ways}"
-            )
-        h, w = inputs.shape[-2:]
-        specs = make_tiles(h, w, self.tiles, self.halo)
-        f = self.factor
-        losses = []
-        # --- per-rank forward/backward: rank = group g, tile t ------------
-        for g, group in enumerate(self.tiles_groups):
-            x = Tensor(inputs[g : g + 1])
-            for t, (rank, spec) in enumerate(zip(group.ranks, specs)):
-                rep = self.replicas[rank]
-                rep.zero_grad()
-                out = rep(extract_tile(x, spec))
-                top, left = (spec.y0 - spec.hy0) * f, (spec.x0 - spec.hx0) * f
-                ch, cw = spec.core_shape
-                core = out[:, :, top : top + ch * f, left : left + cw * f]
-                tile_target = Tensor(
-                    targets[g : g + 1, :,
-                            spec.y0 * f : spec.y1 * f, spec.x0 * f : spec.x1 * f]
-                )
-                loss = loss_fn(core, tile_target)
-                loss.backward()
-                losses.append(float(loss.data))
-        # --- level 1: average gradients within each TILES group -----------
-        for group in self.tiles_groups:
-            buckets = [flatten_grads(self.replicas[r]) for r in group.ranks]
-            reduced = group.all_reduce(buckets, op="mean")
-            for r, flat in zip(group.ranks, reduced):
-                unflatten_to_grads(self.replicas[r], flat)
-        # --- level 2: average across DDP groups ---------------------------
-        for group in self.ddp_groups:
-            buckets = [flatten_grads(self.replicas[r]) for r in group.ranks]
-            reduced = group.all_reduce(buckets, op="mean")
-            for r, flat in zip(group.ranks, reduced):
-                unflatten_to_grads(self.replicas[r], flat)
+        losses = self.strategy.forward_backward(inputs, targets, loss_fn)
+        self.strategy.reduce_gradients()
         for opt in self.optimizers:
             opt.step()
         return float(np.mean(losses))
@@ -127,14 +97,19 @@ class OrthogonalTrainer:
         return float(np.mean(losses))
 
     def assert_synchronized(self, atol: float = 1e-6) -> None:
-        ref = self.replicas[0].state_dict()
-        for i, rep in enumerate(self.replicas[1:], start=1):
-            for name, arr in rep.state_dict().items():
-                if not np.allclose(arr, ref[name], atol=atol):
-                    raise AssertionError(f"rank {i} drifted on {name}")
+        self.strategy.assert_units_synchronized(atol=atol)
 
-    def communication_summary(self) -> dict[str, float]:
-        """Total bytes moved per level (the Fig. 5 traffic picture)."""
-        tiles_bytes = sum(g.stats.total_bytes() for g in self.tiles_groups)
-        ddp_bytes = sum(g.stats.total_bytes() for g in self.ddp_groups)
-        return {"tiles_level_bytes": tiles_bytes, "ddp_level_bytes": ddp_bytes}
+    def communication_summary(self) -> dict:
+        """Per-level traffic (the Fig. 5 picture) with a per-step breakdown."""
+        summary = self.strategy.comm_summary()
+        return {
+            "tiles_level_bytes": summary["tiles_level_bytes"],
+            "ddp_level_bytes": summary["ddp_level_bytes"],
+            "steps": summary["steps"],
+            "per_step": {level: summary["per_step"][level]
+                         for level in ("tiles", "ddp")},
+        }
+
+    def reset(self) -> None:
+        """Zero the communication counters (per-epoch accounting)."""
+        self.strategy.reset_comm()

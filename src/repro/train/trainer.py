@@ -66,10 +66,7 @@ class Trainer:
         self.loss_fn = BayesianDownscalingLoss(
             latitude_weights(dataset.spec.fine_grid), tv_weight=config.tv_weight
         )
-        # flatten=True: one contiguous param/grad buffer, one vectorised
-        # AdamW update per step (bit-identical to the per-tensor loop)
-        self.optimizer = AdamW(model.parameters(), lr=config.lr,
-                               weight_decay=config.weight_decay, flatten=True)
+        self.optimizer = self._build_optimizer()
         self.scaler = GradScaler() if config.bf16 else None
         self.cast = Bf16Cast() if config.bf16 else None
         self.history = TrainHistory()
@@ -80,6 +77,58 @@ class Trainer:
         )
 
     # ------------------------------------------------------------------ #
+    # template-method hooks: DistributedEngine overrides these to route
+    # compute through a ParallelStrategy while AMP/scheduling/clipping and
+    # the epoch loop below stay shared
+    # ------------------------------------------------------------------ #
+    def _build_optimizer(self):
+        # flatten=True: one contiguous param/grad buffer, one vectorised
+        # AdamW update per step (bit-identical to the per-tensor loop)
+        return AdamW(self.model.parameters(), lr=self.config.lr,
+                     weight_decay=self.config.weight_decay, flatten=True)
+
+    def _optimizers(self) -> list:
+        return [self.optimizer]
+
+    def _set_lr(self, lr: float) -> None:
+        for opt in self._optimizers():
+            opt.lr = lr
+
+    def _zero_grad(self) -> None:
+        for opt in self._optimizers():
+            opt.zero_grad()
+
+    def _backward(self, batch) -> float:
+        """Forward + backward; returns the (unscaled) loss value."""
+        loss = self._forward_loss(batch)
+        if self.scaler is not None:
+            self.scaler.scale(loss).backward()
+        else:
+            loss.backward()
+        return float(loss.data)
+
+    def _clip_and_step(self) -> float:
+        """Clip each optimizer's gradients and step; returns grad norm."""
+        optimizers = self._optimizers()
+        if self.scaler is not None:
+            # clip in unscaled units by scaling the threshold instead
+            scale = self.scaler.scale_value
+            norms = [clip_grad_norm(opt.params, self.config.grad_clip * scale) / scale
+                     for opt in optimizers]
+            # single optimizer goes through scaler.step so instance-level
+            # wrappers (failure injection) stay effective
+            stepped = (self.scaler.step(optimizers[0]) if len(optimizers) == 1
+                       else self.scaler.step_all(optimizers))
+            if not stepped:
+                self.history.skipped_steps += 1
+        else:
+            norms = [clip_grad_norm(opt.params, self.config.grad_clip)
+                     for opt in optimizers]
+            for opt in optimizers:
+                opt.step()
+        return norms[0]
+
+    # ------------------------------------------------------------------ #
     def _forward_loss(self, batch) -> Tensor:
         pred = self.model(Tensor(batch.inputs))
         if self.cast is not None:
@@ -88,27 +137,16 @@ class Trainer:
 
     def train_step(self, batch) -> float:
         """One optimizer step; returns the (unscaled) loss value."""
-        self.optimizer.lr = warmup_cosine(
+        self._set_lr(warmup_cosine(
             self._step, self.config.warmup_steps, self._total_steps,
             self.config.lr, self.config.min_lr,
-        )
-        self.optimizer.zero_grad()
-        loss = self._forward_loss(batch)
-        if self.scaler is not None:
-            self.scaler.scale(loss).backward()
-            # clip in unscaled units by scaling the threshold instead
-            scale = self.scaler.scale_value
-            norm = clip_grad_norm(self.optimizer.params,
-                                  self.config.grad_clip * scale) / scale
-            if not self.scaler.step(self.optimizer):
-                self.history.skipped_steps += 1
-        else:
-            loss.backward()
-            norm = clip_grad_norm(self.optimizer.params, self.config.grad_clip)
-            self.optimizer.step()
+        ))
+        self._zero_grad()
+        loss = self._backward(batch)
+        norm = self._clip_and_step()
         self.history.grad_norms.append(norm)
         self._step += 1
-        return float(loss.data)
+        return loss
 
     def train_epoch(self) -> float:
         self.model.train()

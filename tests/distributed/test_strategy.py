@@ -1,0 +1,118 @@
+"""CompositePlan geometry and the composed TP x FSDP x TILES x DDP stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import PAPER_CONFIGS
+from repro.distributed import (
+    CompositePlan,
+    CompositeStrategy,
+    ParallelLayout,
+    VirtualCluster,
+    plan_comm_costs,
+)
+from repro.testing import check_parallel_equivalence
+from repro.testing.equivalence import _make_model, oracle_config
+
+
+def _mse(pred, target):
+    d = pred - target
+    return (d * d).mean()
+
+
+class TestCompositePlan:
+    def test_product_must_equal_world(self):
+        with pytest.raises(ValueError, match=r"2x2x2x2 = 16 != world 8"):
+            CompositePlan(VirtualCluster(8), tp=2, fsdp=2, tiles=2, ddp=2)
+
+    def test_level_sizes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CompositePlan(VirtualCluster(4), tp=0, fsdp=1, tiles=1, ddp=4)
+
+    def test_tp_must_fit_in_a_node(self):
+        with pytest.raises(ValueError):
+            CompositePlan(VirtualCluster(16), tp=16, fsdp=1, tiles=1, ddp=1)
+
+    def test_rank_layout_tp_innermost(self):
+        plan = CompositePlan(VirtualCluster(16), tp=2, fsdp=2, tiles=2, ddp=2)
+        # TP groups are contiguous rank pairs — the in-node placement
+        assert plan.tp_ranks(0, 0, 0) == [0, 1]
+        assert plan.tp_ranks(1, 1, 1) == [14, 15]
+        assert plan.fsdp_ranks(0, 0, 0) == [0, 2]
+        assert plan.rank(1, 1, 1, 1) == 15
+
+    def test_validate_partitions_every_level(self):
+        plan = CompositePlan(VirtualCluster(16), tp=2, fsdp=2, tiles=2, ddp=2)
+        plan.validate()
+        sets = plan.level_rank_sets()
+        world = set(range(16))
+        for level, groups in sets.items():
+            seen = [r for g in groups for r in g]
+            assert sorted(seen) == sorted(world), level
+
+    def test_from_layout(self):
+        layout = ParallelLayout(VirtualCluster(64))  # tp=8, fsdp=2, ddp=4
+        plan = CompositePlan.from_layout(layout, tiles=2)
+        assert plan.level_sizes() == {"tp": 8, "fsdp": 2, "tiles": 2, "ddp": 2}
+        with pytest.raises(ValueError):
+            CompositePlan.from_layout(layout, tiles=3)  # 4 % 3 != 0
+
+    def test_communication_hierarchy_matches_fig5(self):
+        plan = CompositePlan(VirtualCluster(32), tp=8, fsdp=2, tiles=2, ddp=1)
+        h = plan.communication_hierarchy()
+        assert h["tp"] == "SAME_NODE"
+        assert h["fsdp"] == "CROSS_NODE"
+        assert h["ddp"] == "local"
+
+
+class TestCompositeStrategy:
+    def test_oracle_world8(self):
+        check_parallel_equivalence("composite", world=8)
+
+    @pytest.mark.slow
+    def test_oracle_world16_with_tp(self):
+        check_parallel_equivalence("composite", world=16)
+
+    def test_comm_summary_per_level_and_reset(self):
+        plan = CompositePlan(VirtualCluster(8), tp=1, fsdp=2, tiles=2, ddp=2)
+        strategy = CompositeStrategy(plan, loss_fn=_mse, halo=2, factor=2)
+        config = oracle_config()
+        strategy.setup(lambda u: _make_model(config, seed=u))
+
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 2, 16, 16)).astype(np.float32)
+        y = rng.standard_normal((2, 1, 32, 32)).astype(np.float32)
+        strategy.step(x, y)
+        strategy.step(x, y)
+
+        summary = strategy.comm_summary()
+        assert summary["steps"] == 2
+        for level in ("fsdp", "tiles", "ddp"):
+            total = summary[f"{level}_level_bytes"]
+            assert total > 0
+            assert summary["per_step"][level] == pytest.approx(total / 2)
+
+        strategy.reset_comm()
+        summary = strategy.comm_summary()
+        assert summary["steps"] == 0
+        assert summary["fsdp_level_bytes"] == 0
+
+    def test_batch_must_match_ddp_ways(self):
+        plan = CompositePlan(VirtualCluster(4), tp=1, fsdp=1, tiles=2, ddp=2)
+        strategy = CompositeStrategy(plan, loss_fn=_mse, halo=2, factor=2)
+        strategy.setup(lambda u: _make_model(oracle_config(), seed=0))
+        with pytest.raises(ValueError):
+            strategy.forward(np.zeros((3, 2, 16, 16), dtype=np.float32))
+
+
+def test_plan_comm_costs_rows():
+    plan = CompositePlan(VirtualCluster(32), tp=8, fsdp=2, tiles=2, ddp=1)
+    rows = plan_comm_costs(plan, PAPER_CONFIGS["1B"])
+    levels = [r["level"] for r in rows]
+    assert levels == ["tp", "fsdp", "fsdp", "tiles", "ddp"]
+    for row in rows:
+        assert row["bytes_per_call"] > 0
+        assert row["time_s"] >= 0.0
+    # the singleton DDP level costs nothing
+    assert rows[-1]["time_s"] == 0.0
+    assert rows[-1]["link"] == "local"

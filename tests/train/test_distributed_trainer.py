@@ -119,3 +119,49 @@ class TestOrthogonalTrainer:
         with pytest.raises(ValueError):
             trainer.step(np.zeros((3, 4, 16, 16), dtype=np.float32),
                          np.zeros((3, 2, 32, 32), dtype=np.float32), _mse)
+
+    def test_per_step_breakdown_and_reset(self):
+        rng = np.random.default_rng(4)
+        trainer = OrthogonalTrainer(_factory(), VirtualCluster(8),
+                                    tiles_per_sample=4, halo=2, factor=2)
+        for _ in range(2):
+            trainer.step(rng.standard_normal((2, 4, 16, 16)).astype(np.float32),
+                         rng.standard_normal((2, 2, 32, 32)).astype(np.float32),
+                         _mse)
+        summary = trainer.communication_summary()
+        assert summary["steps"] == 2
+        assert summary["per_step"]["tiles"] == pytest.approx(
+            summary["tiles_level_bytes"] / 2)
+        assert summary["per_step"]["ddp"] == pytest.approx(
+            summary["ddp_level_bytes"] / 2)
+        trainer.reset()
+        summary = trainer.communication_summary()
+        assert summary["steps"] == 0
+        assert summary["tiles_level_bytes"] == 0
+
+    def test_optimizer_grads_are_strategy_buffer_views(self):
+        """The shim's SGD steps read gradients straight out of the
+        strategy's flat collective buffers — no per-step re-flattening."""
+        rng = np.random.default_rng(6)
+        trainer = OrthogonalTrainer(_factory(), VirtualCluster(8),
+                                    tiles_per_sample=4, halo=2, factor=2)
+        trainer.step(rng.standard_normal((2, 4, 16, 16)).astype(np.float32),
+                     rng.standard_normal((2, 2, 32, 32)).astype(np.float32),
+                     _mse)
+        for opt, buf in zip(trainer.optimizers, trainer.strategy.buffers()):
+            assert opt.flat is buf
+            assert np.shares_memory(opt.flat.grad, buf.grad)
+        # after a step every replica parameter's grad is a live view into
+        # its unit's flat buffer (grad views attach on the first backward)
+        for replica, buf in zip(trainer.replicas, trainer.strategy.buffers()):
+            for p in replica.parameters():
+                assert np.shares_memory(p.grad, buf.grad)
+
+    def test_shim_delegates_to_composite_strategy(self):
+        from repro.distributed import CompositeStrategy
+
+        trainer = OrthogonalTrainer(_factory(), VirtualCluster(8),
+                                    tiles_per_sample=4, halo=2, factor=2)
+        assert isinstance(trainer.strategy, CompositeStrategy)
+        assert trainer.strategy.plan.level_sizes() == {
+            "tp": 1, "fsdp": 1, "tiles": 4, "ddp": 2}
