@@ -1,0 +1,104 @@
+"""Disabled-tracer overhead gate for ``repro.obs``.
+
+The whole observability layer must be free when no tracer is installed —
+every instrumentation site is one thread-local read plus an identity
+check.  This bench measures the medium hotpath train step (the same
+workload ``bench_engine_hotpath.py`` prices into ``BENCH_engine.json``)
+twice within one process on ONE trainer: ``Trainer.train_step`` (every
+``span()`` site present, no active tracer) versus the identical phase
+sequence re-issued through the trainer's own template hooks with the
+span sites stripped.  CI asserts the ratio stays under ``MAX_OVERHEAD``;
+a within-run comparison keeps the gate meaningful across machines,
+unlike comparing wall-clock against a committed JSON.
+
+Run directly (``python benchmarks/bench_obs_overhead.py``) to print the
+measurement and exit non-zero on regression, or via pytest.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core import Reslim
+from repro.data import DatasetSpec, DownscalingDataset, Grid
+from repro.nn import warmup_cosine
+from repro.train import TrainConfig, Trainer
+
+from benchmarks.bench_engine_hotpath import TRAIN_CONFIGS, _best_of
+from benchmarks.common import record_bench
+
+MAX_OVERHEAD = 1.03  # <3% regression of the disabled-tracer step
+
+
+def _build_trainer(key: str = "medium"):
+    config, _in_ch, out_ch, factor, (h, w), batch = TRAIN_CONFIGS[key]
+    spec = DatasetSpec(name="obs-overhead",
+                       fine_grid=Grid(h * factor, w * factor), factor=factor,
+                       years=(2000,), samples_per_year=max(batch, 4), seed=0,
+                       output_channels=tuple(range(17, 17 + out_ch)))
+    ds = DownscalingDataset(spec, years=(2000,))
+    # the synthetic dataset always emits the full 23 ERA5-like channels
+    model = Reslim(config, in_channels=23, out_channels=out_ch,
+                   factor=factor, max_tokens=4096,
+                   rng=np.random.default_rng(0))
+    trainer = Trainer(model, ds, TrainConfig(epochs=1, batch_size=batch))
+    batch_obj = next(iter(ds.batches(batch)))
+    return trainer, batch_obj
+
+
+def _raw_step(trainer: Trainer, batch) -> float:
+    """``Trainer._train_step_impl`` with every span site stripped — the
+    control arm.  Must mirror that method phase for phase."""
+    trainer._set_lr(warmup_cosine(
+        trainer._step, trainer.config.warmup_steps, trainer._total_steps,
+        trainer.config.lr, trainer.config.min_lr,
+    ))
+    trainer._zero_grad()
+    loss = trainer._forward_loss(batch)
+    loss.backward()
+    norm = trainer._clip_and_step()
+    trainer.history.grad_norms.append(norm)
+    trainer._step += 1
+    return float(loss.data)
+
+
+def measure(key: str = "medium", repeats: int = 7) -> dict[str, float]:
+    """Best-of wall-clock for raw vs instrumented-but-disabled steps."""
+    from repro.obs import active_tracer
+
+    assert active_tracer() is None, "gate must run with tracing disabled"
+    trainer, batch = _build_trainer(key)
+    raw_s = _best_of(lambda: _raw_step(trainer, batch), repeats)
+    instrumented_s = _best_of(lambda: trainer.train_step(batch), repeats)
+    return {"raw_step_s": raw_s, "instrumented_step_s": instrumented_s,
+            "overhead_ratio": instrumented_s / raw_s if raw_s > 0 else 1.0}
+
+
+def test_disabled_tracer_overhead():
+    result = measure()
+    record_bench("obs_overhead", result)
+    assert result["overhead_ratio"] < MAX_OVERHEAD, (
+        f"disabled-tracer train step is {result['overhead_ratio']:.3f}x the "
+        f"raw step (budget {MAX_OVERHEAD}x): an instrumentation site is "
+        f"doing work while tracing is off")
+
+
+def main() -> int:
+    result = measure()
+    record_bench("obs_overhead", result)
+    print(f"raw step:          {result['raw_step_s'] * 1e3:8.3f} ms")
+    print(f"instrumented step: {result['instrumented_step_s'] * 1e3:8.3f} ms")
+    print(f"overhead ratio:    {result['overhead_ratio']:8.3f}x "
+          f"(budget {MAX_OVERHEAD}x)")
+    if result["overhead_ratio"] >= MAX_OVERHEAD:
+        print("FAIL: disabled-tracer overhead budget exceeded",
+              file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

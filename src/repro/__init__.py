@@ -25,13 +25,16 @@ Subpackages
 ``repro.testing``
     The verification layer: gradient checking, parallel-equivalence
     oracles, op fuzzing, collective conformance, golden files.
+``repro.obs``
+    Observability: hierarchical span tracing on a simulated clock,
+    engine/collective instrumentation, metrics, Chrome-trace export.
 """
 
 __version__ = "0.1.0"
 
-from . import core, data, distributed, evals, nn, tensor, testing, train  # noqa: F401
+from . import core, data, distributed, evals, nn, obs, tensor, testing, train  # noqa: F401
 
 __all__ = [
-    "core", "data", "distributed", "evals", "nn", "tensor", "testing", "train",
-    "__version__",
+    "core", "data", "distributed", "evals", "nn", "obs", "tensor", "testing",
+    "train", "__version__",
 ]

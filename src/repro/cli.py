@@ -10,6 +10,10 @@ Entry points for downstream users who want results without writing code:
   Fig. 6) for a chosen model size;
 * ``repro plan``     — validate a TP x FSDP x TILES x DDP composite plan
   and print its per-level communication cost table (Fig. 5 mapping);
+* ``repro profile``  — run training steps under the ``repro.obs`` tracer
+  and write a Perfetto-loadable Chrome trace + metrics summary;
+* ``repro trace``    — modeled per-rank timeline of one composite step
+  (no execution), exported in the same Chrome trace format;
 * ``repro export``   — materialize a dataset split to a ``.npz`` archive.
 
 Run ``python -m repro.cli <command> --help`` for options.
@@ -73,6 +77,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ddp", type=int, default=0,
                    help="DDP ways (default: world / (tp*fsdp*tiles))")
     p.add_argument("--tokens-per-tile", type=int, default=4096)
+
+    pr = sub.add_parser("profile", help="trace training steps, write "
+                                        "Chrome trace JSON + summary")
+    pr.add_argument("--embed-dim", type=int, default=32)
+    pr.add_argument("--depth", type=int, default=2)
+    pr.add_argument("--heads", type=int, default=4)
+    pr.add_argument("--factor", type=int, default=4)
+    pr.add_argument("--grid", type=int, nargs=2, default=(32, 64),
+                    metavar=("NLAT", "NLON"), help="fine grid shape")
+    pr.add_argument("--steps", type=int, default=3)
+    pr.add_argument("--quick", action="store_true",
+                    help="tiny config, 1 step (CI smoke profile)")
+    pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--trace-out", default="profile_trace.json")
+    pr.add_argument("--metrics-out", default=None,
+                    help="also dump the flat metrics registry to this path")
+
+    tr = sub.add_parser("trace", help="modeled per-rank timeline of one "
+                                      "composite step (no execution)")
+    tr.add_argument("--model", choices=["9.5M", "126M", "1B", "10B"],
+                    default="1B")
+    tr.add_argument("--plan", default="tp=2,fsdp=2,tiles=2,ddp=2",
+                    help="comma-separated level sizes, e.g. tp=2,fsdp=2,"
+                         "tiles=1,ddp=4 (world = their product)")
+    tr.add_argument("--tokens-per-tile", type=int, default=4096)
+    tr.add_argument("--output", default="plan_trace.json")
 
     x = sub.add_parser("export", help="export a dataset split to .npz")
     x.add_argument("--grid", type=int, nargs=2, default=(32, 64))
@@ -183,17 +213,26 @@ def _print_plan_costs(plan, cfg, tokens_per_tile: int = 4096) -> None:
     from repro.distributed import plan_comm_costs
 
     sizes = plan.level_sizes()
-    hierarchy = plan.communication_hierarchy()
     print(f"composite plan on {plan.cluster.world_size} GPUs: "
           + " x ".join(f"{k}={sizes[k]}" for k in ("tp", "fsdp", "tiles", "ddp")))
-    print(f"{'level':>6s} {'size':>5s} {'link':>10s} {'op':>15s} "
-          f"{'calls':>6s} {'MB/call':>9s} {'time/step':>10s}")
+    rows = plan_comm_costs(plan, cfg, tokens_per_tile=tokens_per_tile)
+    print(f"{'level':<6s} {'size':>5s} {'link':>10s} {'op':>15s} "
+          f"{'calls':>6s} {'MB/call':>10s} {'ms/step':>10s}")
     total = 0.0
-    for row in plan_comm_costs(plan, cfg, tokens_per_tile=tokens_per_tile):
+    level_time: dict[str, float] = {}
+    for row in rows:
         total += row["time_s"]
-        print(f"{row['level']:>6s} {row['group_size']:5d} {row['link']:>10s} "
-              f"{row['op']:>15s} {row['calls']:6d} "
-              f"{row['bytes_per_call'] / 1e6:9.2f} {row['time_s']:9.4f}s")
+        level_time[row["level"]] = (level_time.get(row["level"], 0.0)
+                                    + row["time_s"])
+        print(f"{row['level']:<6s} {row['group_size']:>5d} {row['link']:>10s} "
+              f"{row['op']:>15s} {row['calls']:>6d} "
+              f"{row['bytes_per_call'] / 1e6:>10.2f} "
+              f"{row['time_s'] * 1e3:>10.3f}")
+    print("modelled time per level:")
+    for level in ("tp", "fsdp", "tiles", "ddp"):
+        t = level_time.get(level, 0.0)
+        share = t / total if total else 0.0
+        print(f"  {level:<6s} {t * 1e3:>10.3f} ms  ({share:5.1%})")
     print(f"modelled comm time per step: {total:.4f}s")
 
 
@@ -216,6 +255,92 @@ def _cmd_plan(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.core import ModelConfig, Reslim
+    from repro.obs import Tracer, span_coverage, step_summary
+    from repro.train import TrainConfig, Trainer
+
+    if args.quick:
+        args.embed_dim, args.depth, args.heads = 16, 2, 4
+        args.grid, args.steps = (16, 32), 1
+    config = ModelConfig("profile", embed_dim=args.embed_dim,
+                         depth=args.depth, num_heads=args.heads)
+    ds = _make_dataset(args.grid, args.factor, 1, 4, args.seed)
+    model = Reslim(config, in_channels=23, out_channels=3, factor=args.factor,
+                   max_tokens=4096, rng=np.random.default_rng(args.seed))
+    trainer = Trainer(model, ds, TrainConfig(epochs=1, batch_size=2,
+                                             seed=args.seed))
+    batches = list(ds.batches(2))
+    trainer.train_step(batches[0])  # warm caches outside the trace
+    with Tracer() as tracer:
+        for i in range(args.steps):
+            trainer.train_step(batches[i % len(batches)])
+    tracer.export_chrome(args.trace_out)
+    print(f"trace written to {args.trace_out} "
+          f"(load at https://ui.perfetto.dev)")
+    print()
+    print(tracer.summary())
+    summary = step_summary(tracer)
+    print("per-step summary:")
+    for key in sorted(summary):
+        print(f"  {key:<16s} {summary[key]:.6g}")
+    coverage = span_coverage(tracer.spans, "train/step")
+    print(f"span coverage of train/step: {coverage:.1%}")
+    if args.metrics_out:
+        from pathlib import Path
+        Path(args.metrics_out).write_text(tracer.metrics.dump())
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
+def _parse_plan_spec(spec: str) -> dict[str, int]:
+    sizes = {"tp": 1, "fsdp": 1, "tiles": 1, "ddp": 1}
+    for part in spec.split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        key = key.strip()
+        if key not in sizes or not value.strip().isdigit():
+            raise ValueError(
+                f"bad plan component {part!r}; expected tp=N,fsdp=N,"
+                f"tiles=N,ddp=N")
+        sizes[key] = int(value)
+    return sizes
+
+
+def _cmd_trace(args) -> int:
+    from repro.core import PAPER_CONFIGS
+    from repro.distributed import (CompositePlan, VirtualCluster,
+                                   modeled_step_timeline)
+    from repro.obs import write_chrome_trace
+
+    cfg = PAPER_CONFIGS[args.model]
+    try:
+        sizes = _parse_plan_spec(args.plan)
+        world = sizes["tp"] * sizes["fsdp"] * sizes["tiles"] * sizes["ddp"]
+        plan = CompositePlan(VirtualCluster(world), **sizes)
+    except ValueError as exc:
+        print(f"invalid plan: {exc}", file=sys.stderr)
+        return 1
+    spans = modeled_step_timeline(plan, cfg,
+                                 tokens_per_tile=args.tokens_per_tile)
+    write_chrome_trace(args.output, spans)
+    step_end = max(sp.end_s for sp in spans)
+    by_cat: dict[str, float] = {}
+    for sp in spans:
+        if sp.rank == 0:
+            by_cat[sp.cat] = by_cat.get(sp.cat, 0.0) + sp.dur_s
+    print(f"modeled timeline for {args.model} on "
+          + " x ".join(f"{k}={sizes[k]}" for k in ("tp", "fsdp", "tiles", "ddp"))
+          + f" (world={world})")
+    print(f"  spans: {len(spans)} over {world} ranks")
+    for cat in sorted(by_cat):
+        print(f"  rank-0 {cat:<8s} {by_cat[cat] * 1e3:>10.3f} ms")
+    print(f"  modeled step time: {step_end * 1e3:.3f} ms")
+    print(f"trace written to {args.output} (load at https://ui.perfetto.dev)")
+    return 0
+
+
 def _cmd_export(args) -> int:
     from repro.data.io import export_dataset
 
@@ -229,7 +354,9 @@ def _cmd_export(args) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
-                "scale": _cmd_scale, "plan": _cmd_plan, "export": _cmd_export}
+                "scale": _cmd_scale, "plan": _cmd_plan,
+                "profile": _cmd_profile, "trace": _cmd_trace,
+                "export": _cmd_export}
     return handlers[args.command](args)
 
 

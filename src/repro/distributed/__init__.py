@@ -18,7 +18,9 @@ from .perf_model import (
     DownscalingWorkload,
     max_output_tokens,
     memory_per_gpu_bytes,
+    modeled_step_timeline,
     plan_comm_costs,
+    step_traffic_schedule,
     strong_scaling_efficiency,
     sustained_flops,
     time_per_sample,
@@ -100,6 +102,8 @@ __all__ = [
     "memory_per_gpu_bytes",
     "max_output_tokens",
     "plan_comm_costs",
+    "step_traffic_schedule",
+    "modeled_step_timeline",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.tracer import active_tracer
 from .topology import FrontierTopology
 
 __all__ = ["CommStats", "ProcessGroup", "VirtualCluster"]
@@ -65,6 +66,24 @@ class ProcessGroup:
     def size(self) -> int:
         return len(self.ranks)
 
+    def _trace(self, op: str, payload_nbytes: float, sent: float) -> None:
+        """Emit a per-rank span for one collective when a tracer is active.
+
+        ``payload_nbytes`` is the per-rank buffer size — the quantity
+        ``collective_time`` and ``perf_model.plan_comm_costs`` both price,
+        so traced bytes/durations match the planner exactly.  Size-1
+        groups are skipped: nothing moves, and trivial plans would
+        otherwise drown the timeline in zero-duration spans.
+        """
+        if self.size == 1:
+            return
+        tracer = active_tracer()
+        if tracer is None:
+            return
+        tracer.collective(op, self.ranks, payload_nbytes,
+                          self.collective_time(op, payload_nbytes),
+                          sent_bytes=sent)
+
     # ------------------------------------------------------------------ #
     # collectives — each takes one buffer per group member, in group order
     # ------------------------------------------------------------------ #
@@ -109,6 +128,7 @@ class ProcessGroup:
                 f /= p
         sent = 2 * (p - 1) / p * buffers[0].nbytes
         self.stats.record("all_reduce", sent)
+        self._trace("all_reduce", buffers[0].nbytes, sent)
         return [f.reshape(buffers[0].shape) for f in flat]
 
     def all_gather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
@@ -121,6 +141,7 @@ class ProcessGroup:
         # ring all-gather: each rank forwards its shard (p-1) hops
         sent = (self.size - 1) * buffers[0].nbytes
         self.stats.record("all_gather", sent)
+        self._trace("all_gather", buffers[0].nbytes, sent)
         return [full.copy() for _ in range(self.size)]
 
     def reduce_scatter(self, buffers: list[np.ndarray], op: str = "sum") -> list[np.ndarray]:
@@ -143,6 +164,7 @@ class ProcessGroup:
         shards = np.array_split(total.astype(np.float32), self.size, axis=0)
         sent = (self.size - 1) / self.size * buffers[0].nbytes
         self.stats.record("reduce_scatter", sent)
+        self._trace("reduce_scatter", buffers[0].nbytes, sent)
         return [s.copy() for s in shards]
 
     def broadcast(self, buffer: np.ndarray, root_index: int = 0) -> list[np.ndarray]:
@@ -151,6 +173,7 @@ class ProcessGroup:
             raise ValueError(f"root index {root_index} outside group of {self.size}")
         sent = buffer.nbytes * np.log2(max(self.size, 2)) / self.size
         self.stats.record("broadcast", sent)
+        self._trace("broadcast", buffer.nbytes, sent)
         return [buffer.copy() for _ in range(self.size)]
 
     def all_to_all(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
@@ -170,6 +193,7 @@ class ProcessGroup:
                for i in range(self.size)]
         sent = (self.size - 1) / self.size * buffers[0].nbytes
         self.stats.record("all_to_all", sent)
+        self._trace("all_to_all", buffers[0].nbytes, sent)
         return out
 
     # ------------------------------------------------------------------ #

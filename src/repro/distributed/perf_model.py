@@ -44,6 +44,8 @@ __all__ = [
     "memory_per_gpu_bytes",
     "max_output_tokens",
     "plan_comm_costs",
+    "step_traffic_schedule",
+    "modeled_step_timeline",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",
@@ -332,6 +334,49 @@ def time_per_sample(w: DownscalingWorkload, n_gpus: int,
     return t_step / concurrent
 
 
+def step_traffic_schedule(config: ModelConfig, tokens_per_tile: int = 4096,
+                          in_channels: int = 23,
+                          out_channels: int = 18) -> list[dict]:
+    """The canonical collective sequence of ONE composite training step.
+
+    Single source of truth for modeled traffic — :func:`plan_comm_costs`
+    aggregates it per (level, op), :func:`modeled_step_timeline` plays it
+    out on a rank timeline, and the tracer's runtime spans carry the same
+    per-call bytes.  Per step: FSDP all-gathers bf16 weights before
+    forward and again before backward; TP issues 2 activation all-reduces
+    per layer in each direction; FSDP reduce-scatters bf16 gradients;
+    the TILES and DDP levels each run one fp32 gradient all-reduce.
+    """
+    params = transformer_param_count(config, in_channels=in_channels,
+                                     out_channels=out_channels)
+    act_nbytes = tokens_per_tile * config.embed_dim * ACT_BYTES
+    return [
+        {"phase": "forward", "level": "fsdp", "op": "all_gather",
+         "calls": 1, "nbytes": params * ACT_BYTES},
+        {"phase": "forward", "level": "tp", "op": "all_reduce",
+         "calls": 2 * config.depth, "nbytes": act_nbytes},
+        {"phase": "backward", "level": "fsdp", "op": "all_gather",
+         "calls": 1, "nbytes": params * ACT_BYTES},
+        {"phase": "backward", "level": "tp", "op": "all_reduce",
+         "calls": 2 * config.depth, "nbytes": act_nbytes},
+        {"phase": "reduce", "level": "fsdp", "op": "reduce_scatter",
+         "calls": 1, "nbytes": params * ACT_BYTES},
+        {"phase": "reduce", "level": "tiles", "op": "all_reduce",
+         "calls": 1, "nbytes": params * 4},
+        {"phase": "reduce", "level": "ddp", "op": "all_reduce",
+         "calls": 1, "nbytes": params * 4},
+    ]
+
+
+#: representative rank set per level (all groups of a level are congruent)
+_LEVEL_RANKS = {
+    "tp": lambda plan: plan.tp_ranks(0, 0, 0),
+    "fsdp": lambda plan: plan.fsdp_ranks(0, 0, 0),
+    "tiles": lambda plan: plan.tiles_ranks(0, 0, 0),
+    "ddp": lambda plan: plan.ddp_ranks(0, 0, 0),
+}
+
+
 def plan_comm_costs(plan: CompositePlan, config: ModelConfig,
                     tokens_per_tile: int = 4096, in_channels: int = 23,
                     out_channels: int = 18) -> list[dict]:
@@ -341,38 +386,111 @@ def plan_comm_costs(plan: CompositePlan, config: ModelConfig,
     estimate and the runtime traffic share one rank layout: each row is
     a (level, collective) pair with its per-call bytes, call count, the
     ring-model wall-clock on the level's representative group, and the
-    widest link the level crosses (the Fig. 5 placement check).
-
-    Per step: TP issues 2 activation all-reduces per layer forward + 2
-    backward; FSDP all-gathers bf16 weights for forward and backward and
-    reduce-scatters bf16 gradients; the TILES and DDP levels each run one
-    fp32 gradient all-reduce.
+    widest link the level crosses (the Fig. 5 placement check).  Rows
+    aggregate :func:`step_traffic_schedule` — the same pricing the
+    tracer and the modeled timeline use.
     """
-    params = transformer_param_count(config, in_channels=in_channels,
-                                     out_channels=out_channels)
     hierarchy = plan.communication_hierarchy()
     cluster = plan.cluster
+    schedule = step_traffic_schedule(config, tokens_per_tile,
+                                    in_channels, out_channels)
+    order = [("tp", "all_reduce"), ("fsdp", "all_gather"),
+             ("fsdp", "reduce_scatter"), ("tiles", "all_reduce"),
+             ("ddp", "all_reduce")]
+    calls: dict[tuple[str, str], int] = {}
+    nbytes: dict[tuple[str, str], float] = {}
+    for entry in schedule:
+        key = (entry["level"], entry["op"])
+        calls[key] = calls.get(key, 0) + entry["calls"]
+        nbytes[key] = entry["nbytes"]
     rows: list[dict] = []
-
-    def row(level: str, ranks: list[int], op: str, calls: int, nbytes: float):
+    for level, op in order:
+        ranks = _LEVEL_RANKS[level](plan)
         group = cluster.group(ranks)
+        n = calls[(level, op)]
+        b = nbytes[(level, op)]
         rows.append({
             "level": level,
             "group_size": len(ranks),
             "op": op,
-            "calls": calls,
-            "bytes_per_call": float(nbytes),
-            "time_s": calls * group.collective_time(op, int(nbytes)),
+            "calls": n,
+            "bytes_per_call": float(b),
+            "time_s": n * group.collective_time(op, int(b)),
             "link": hierarchy[level],
         })
-
-    act_nbytes = tokens_per_tile * config.embed_dim * ACT_BYTES
-    row("tp", plan.tp_ranks(0, 0, 0), "all_reduce", 4 * config.depth, act_nbytes)
-    row("fsdp", plan.fsdp_ranks(0, 0, 0), "all_gather", 2, params * ACT_BYTES)
-    row("fsdp", plan.fsdp_ranks(0, 0, 0), "reduce_scatter", 1, params * ACT_BYTES)
-    row("tiles", plan.tiles_ranks(0, 0, 0), "all_reduce", 1, params * 4)
-    row("ddp", plan.ddp_ranks(0, 0, 0), "all_reduce", 1, params * 4)
     return rows
+
+
+def modeled_step_timeline(plan: CompositePlan, config: ModelConfig,
+                          tokens_per_tile: int = 4096, in_channels: int = 23,
+                          out_channels: int = 18) -> list:
+    """Per-rank modeled timeline of one training step — no execution.
+
+    Plays :func:`step_traffic_schedule` out over every group of each
+    level with barrier semantics (a collective starts at the latest
+    member clock) and inserts roofline-priced compute segments for the
+    forward and backward passes, so ``repro trace`` can render a
+    world-64 step as a Perfetto timeline in milliseconds of model time.
+    Returns :class:`repro.obs.Span` objects.
+    """
+    from ..obs.tracer import Span
+
+    cluster = plan.cluster
+    t = {r: 0.0 for r in range(plan.world)}
+    spans: list = []
+
+    def comm(entry: dict) -> None:
+        for ranks in plan.level_rank_sets()[entry["level"]]:
+            if len(ranks) == 1:
+                continue
+            group = cluster.group(ranks)
+            dur = entry["calls"] * group.collective_time(
+                entry["op"], int(entry["nbytes"]))
+            start = max(t[r] for r in ranks)
+            for r in ranks:
+                spans.append(Span(
+                    name=f"comm/{entry['op']}", cat="comm", rank=r,
+                    start_s=start, dur_s=dur,
+                    args={"op": entry["op"], "level": entry["level"],
+                          "bytes": float(entry["nbytes"]),
+                          "calls": entry["calls"],
+                          "group_size": len(ranks), "modeled": True}))
+                t[r] = start + dur
+
+    def compute(name: str, dur: float) -> None:
+        for r in range(plan.world):
+            spans.append(Span(name=name, cat="compute", rank=r,
+                              start_s=t[r], dur_s=dur,
+                              args={"modeled": True}))
+            t[r] += dur
+
+    rate = _roofline_rate(tokens_per_tile, config.embed_dim,
+                          cluster.topology)
+    fwd_flops = transformer_flops(tokens_per_tile, config, training=False)
+    t_fwd = fwd_flops / (plan.tp * rate)
+
+    schedule = step_traffic_schedule(config, tokens_per_tile,
+                                    in_channels, out_channels)
+    by_phase: dict[str, list[dict]] = {}
+    for entry in schedule:
+        by_phase.setdefault(entry["phase"], []).append(entry)
+    for entry in by_phase.get("forward", ()):
+        if entry["op"] == "all_gather":  # weights arrive before compute
+            comm(entry)
+    compute("compute/forward", t_fwd)
+    for entry in by_phase.get("forward", ()):
+        if entry["op"] != "all_gather":
+            comm(entry)
+    for entry in by_phase.get("backward", ()):
+        if entry["op"] == "all_gather":
+            comm(entry)
+    compute("compute/backward", 2.0 * t_fwd)
+    for entry in by_phase.get("backward", ()):
+        if entry["op"] != "all_gather":
+            comm(entry)
+    for entry in by_phase.get("reduce", ()):
+        comm(entry)
+    return spans
 
 
 def sustained_flops(w: DownscalingWorkload, n_gpus: int,

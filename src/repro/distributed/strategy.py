@@ -49,6 +49,7 @@ import numpy as np
 
 from ..core.tiles import TileSpec, extract_tile, make_tiles, stitch_tiles
 from ..nn import Module
+from ..obs.tracer import active_tracer, span
 from ..nn.flat import FlatParamBuffer
 from ..nn.module import Parameter
 from ..tensor import Tensor
@@ -186,8 +187,13 @@ class ParallelStrategy:
         """Process groups per parallelism level, e.g. ``{"ddp": [...]}."""
         return {}
 
-    def comm_summary(self) -> dict:
-        """``{"<level>_level_bytes": total, "calls": {...}}`` per level."""
+    def comm_summary(self, reset: bool = False) -> dict:
+        """``{"<level>_level_bytes": total, "calls": {...}}`` per level.
+
+        ``reset=True`` zeroes the accounting after the snapshot, so
+        callers measuring per-phase traffic stop hand-rolling the
+        snapshot/reset pair.
+        """
         out: dict = {"calls": {}}
         for level, groups in self.level_groups().items():
             out[f"{level}_level_bytes"] = float(
@@ -198,6 +204,8 @@ class ParallelStrategy:
                 for op, n in g.stats.calls.items():
                     calls[op] = calls.get(op, 0) + n
             out["calls"][level] = calls
+        if reset:
+            self.reset_comm()
         return out
 
     def reset_comm(self) -> None:
@@ -742,8 +750,18 @@ class CompositeStrategy(ParallelStrategy):
             return
         depth = getattr(getattr(unit, "config", None), "depth", 1)
         volume = 4 * depth * 2 * (P - 1) / P * act_nbytes
+        tracer = active_tracer()
         for f in range(self.plan.fsdp):
-            self._tp_groups[(d, t, f)].stats.record("modeled_all_reduce", volume)
+            group = self._tp_groups[(d, t, f)]
+            group.stats.record("modeled_all_reduce", volume)
+            if tracer is not None:
+                # the bill is 4*depth per-layer all-reduces of one
+                # activation each; coalesce into one span per group,
+                # priced by the same ring formula the planner uses
+                tracer.collective(
+                    "all_reduce", group.ranks, act_nbytes,
+                    group.collective_time("all_reduce", act_nbytes),
+                    calls=4 * depth)
 
     # ------------------------------------------------------------------ #
     # the four-phase reduction
@@ -755,41 +773,45 @@ class CompositeStrategy(ParallelStrategy):
         # the (identical) unit gradient and keeps its own shard.  The
         # float64 accumulation of identical contributions is exact.
         shards: dict[tuple[int, int], list[np.ndarray]] = {}
-        for d in range(D):
-            for t in range(T):
-                padded = self._buffer(d, t).padded_grad(F).reshape(F, -1)
-                contributions = [padded] * F
-                for p in range(P):
-                    result = self._fsdp_groups[(d, t, p)].reduce_scatter(
-                        contributions, op="mean")
-                shards[(d, t)] = [r.reshape(-1) for r in result]
+        with span("reduce/fsdp_reduce_scatter", cat="reduce"):
+            for d in range(D):
+                for t in range(T):
+                    padded = self._buffer(d, t).padded_grad(F).reshape(F, -1)
+                    contributions = [padded] * F
+                    for p in range(P):
+                        result = self._fsdp_groups[(d, t, p)].reduce_scatter(
+                            contributions, op="mean")
+                    shards[(d, t)] = [r.reshape(-1) for r in result]
         # phase 2 — TILES all-reduce: average each shard across the tiles
         # of one sample (the once-per-batch collective of Sec. III-B)
-        for d in range(D):
-            for f in range(F):
-                bufs = [shards[(d, t)][f] for t in range(T)]
-                for p in range(P):
-                    result = self._tiles_groups[(d, f, p)].all_reduce(
-                        bufs, op="mean")
-                for t in range(T):
-                    shards[(d, t)][f] = result[t]
+        with span("reduce/tiles_all_reduce", cat="reduce"):
+            for d in range(D):
+                for f in range(F):
+                    bufs = [shards[(d, t)][f] for t in range(T)]
+                    for p in range(P):
+                        result = self._tiles_groups[(d, f, p)].all_reduce(
+                            bufs, op="mean")
+                    for t in range(T):
+                        shards[(d, t)][f] = result[t]
         # phase 3 — DDP all-reduce: average across samples
-        for t in range(T):
-            for f in range(F):
-                bufs = [shards[(d, t)][f] for d in range(D)]
-                for p in range(P):
-                    result = self._ddp_groups[(t, f, p)].all_reduce(
-                        bufs, op="mean")
-                for d in range(D):
-                    shards[(d, t)][f] = result[d]
+        with span("reduce/ddp_all_reduce", cat="reduce"):
+            for t in range(T):
+                for f in range(F):
+                    bufs = [shards[(d, t)][f] for d in range(D)]
+                    for p in range(P):
+                        result = self._ddp_groups[(t, f, p)].all_reduce(
+                            bufs, op="mean")
+                    for d in range(D):
+                        shards[(d, t)][f] = result[d]
         # phase 4 — FSDP all-gather: re-materialise the averaged flat
         # gradient straight into each unit's buffer (zero per-param copies)
-        for d in range(D):
-            for t in range(T):
-                for p in range(P):
-                    result = self._fsdp_groups[(d, t, p)].all_gather(
-                        shards[(d, t)])
-                self._buffer(d, t).load_grad(result[0])
+        with span("reduce/fsdp_all_gather", cat="reduce"):
+            for d in range(D):
+                for t in range(T):
+                    for p in range(P):
+                        result = self._fsdp_groups[(d, t, p)].all_gather(
+                            shards[(d, t)])
+                    self._buffer(d, t).load_grad(result[0])
         self.steps += 1
 
     # ------------------------------------------------------------------ #
@@ -819,7 +841,7 @@ class CompositeStrategy(ParallelStrategy):
             "ddp": list(self._ddp_groups.values()),
         }
 
-    def comm_summary(self) -> dict:
+    def comm_summary(self, reset: bool = False) -> dict:
         out = super().comm_summary()
         out["steps"] = self.steps
         out["per_step"] = {
@@ -827,6 +849,8 @@ class CompositeStrategy(ParallelStrategy):
                     if self.steps else 0.0)
             for level in ("tp", "fsdp", "tiles", "ddp")
         }
+        if reset:
+            self.reset_comm()
         return out
 
     def reset_comm(self) -> None:

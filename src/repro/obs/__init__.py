@@ -1,0 +1,27 @@
+"""repro.obs — tracing, metrics, and simulated-clock profiling.
+
+One subsystem answers "where did the step go?" across the whole stack:
+
+- :mod:`~repro.obs.tracer` — hierarchical spans per virtual rank; the
+  module-level :func:`span` is a no-op until a :class:`Tracer` context
+  is entered.
+- :mod:`~repro.obs.clock` — the simulated clock: wall time for real
+  NumPy work, modeled ring time for virtual-cluster collectives.
+- :mod:`~repro.obs.engine` — autograd hook with FLOP/byte rules per
+  fused kernel.
+- :mod:`~repro.obs.metrics` — flat counters/gauges/histograms registry.
+- :mod:`~repro.obs.export` — Chrome trace_event JSON (Perfetto), text
+  summary tables, per-step headline numbers.
+"""
+
+from .clock import SimClock
+from .export import (chrome_trace, span_coverage, step_summary,
+                     summary_table, write_chrome_trace)
+from .metrics import Histogram, MetricsRegistry
+from .tracer import Span, Tracer, active_tracer, span
+
+__all__ = [
+    "SimClock", "Histogram", "MetricsRegistry", "Span", "Tracer",
+    "active_tracer", "span", "chrome_trace", "write_chrome_trace",
+    "span_coverage", "summary_table", "step_summary",
+]

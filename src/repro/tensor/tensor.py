@@ -35,9 +35,22 @@ __all__ = [
     "is_grad_enabled",
     "graph_counters",
     "reset_graph_counters",
+    "set_op_hook",
 ]
 
 _state = threading.local()
+
+#: Optional observer called once per recorded tape node with
+#: ``(op, out_data, parent_datas)``.  None (the default) keeps the hot
+#: path at a single identity check; ``repro.obs`` installs its FLOP/byte
+#: accounting here while a tracer is active.
+_op_hook = None
+
+
+def set_op_hook(hook) -> None:
+    """Install (or clear, with None) the per-tape-node observer."""
+    global _op_hook
+    _op_hook = hook
 
 #: Deterministic accounting of graph construction and backward-pass memory
 #: traffic.  Unlike wall-clock these counts are machine-independent, so the
@@ -158,6 +171,8 @@ class Tensor:
             out._backward = backward
             out._op = op
             _COUNTERS["nodes"] += 1
+            if _op_hook is not None:
+                _op_hook(op, data, tuple(p.data for p in parents))
         return out
 
     @staticmethod

@@ -99,9 +99,9 @@ class OrthogonalTrainer:
     def assert_synchronized(self, atol: float = 1e-6) -> None:
         self.strategy.assert_units_synchronized(atol=atol)
 
-    def communication_summary(self) -> dict:
+    def communication_summary(self, reset: bool = False) -> dict:
         """Per-level traffic (the Fig. 5 picture) with a per-step breakdown."""
-        summary = self.strategy.comm_summary()
+        summary = self.strategy.comm_summary(reset=reset)
         return {
             "tiles_level_bytes": summary["tiles_level_bytes"],
             "ddp_level_bytes": summary["ddp_level_bytes"],
@@ -111,5 +111,5 @@ class OrthogonalTrainer:
         }
 
     def reset(self) -> None:
-        """Zero the communication counters (per-epoch accounting)."""
-        self.strategy.reset_comm()
+        """Deprecated: use ``communication_summary(reset=True)``."""
+        self.communication_summary(reset=True)

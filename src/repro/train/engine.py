@@ -33,6 +33,7 @@ import numpy as np
 from ..data.datasets import DownscalingDataset
 from ..distributed.strategy import CompositePlan, CompositeStrategy
 from ..nn import AdamW
+from ..obs.tracer import span
 from ..tensor import Tensor
 from .trainer import TrainConfig, Trainer
 
@@ -118,8 +119,10 @@ class DistributedEngine(Trainer):
         return loss
 
     def _backward(self, batch) -> float:
-        losses = self.strategy.forward_backward(batch.inputs, batch.targets)
-        self.strategy.reduce_gradients()
+        with span("train/forward_backward", cat="step"):
+            losses = self.strategy.forward_backward(batch.inputs, batch.targets)
+        with span("train/reduce", cat="step"):
+            self.strategy.reduce_gradients()
         mean = float(np.mean(losses))
         if self.scaler is not None:
             mean /= self.scaler.scale_value  # report the unscaled loss
@@ -143,8 +146,8 @@ class DistributedEngine(Trainer):
     def assert_synchronized(self, atol: float = 1e-6) -> None:
         self.strategy.assert_units_synchronized(atol=atol)
 
-    def communication_summary(self) -> dict:
-        return self.strategy.comm_summary()
+    def communication_summary(self, reset: bool = False) -> dict:
+        return self.strategy.comm_summary(reset=reset)
 
     def reset_comm(self) -> None:
         self.strategy.reset_comm()

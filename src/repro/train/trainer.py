@@ -13,6 +13,7 @@ from ..core.losses import BayesianDownscalingLoss
 from ..data.datasets import DownscalingDataset
 from ..data.grids import latitude_weights
 from ..nn import AdamW, Bf16Cast, GradScaler, Module, clip_grad_norm, warmup_cosine
+from ..obs.tracer import active_tracer, span
 from ..tensor import Tensor, no_grad
 
 __all__ = ["TrainConfig", "Trainer", "save_checkpoint", "load_checkpoint"]
@@ -100,11 +101,13 @@ class Trainer:
 
     def _backward(self, batch) -> float:
         """Forward + backward; returns the (unscaled) loss value."""
-        loss = self._forward_loss(batch)
-        if self.scaler is not None:
-            self.scaler.scale(loss).backward()
-        else:
-            loss.backward()
+        with span("train/forward", cat="step"):
+            loss = self._forward_loss(batch)
+        with span("train/backward", cat="step"):
+            if self.scaler is not None:
+                self.scaler.scale(loss).backward()
+            else:
+                loss.backward()
         return float(loss.data)
 
     def _clip_and_step(self) -> float:
@@ -137,13 +140,26 @@ class Trainer:
 
     def train_step(self, batch) -> float:
         """One optimizer step; returns the (unscaled) loss value."""
-        self._set_lr(warmup_cosine(
-            self._step, self.config.warmup_steps, self._total_steps,
-            self.config.lr, self.config.min_lr,
-        ))
-        self._zero_grad()
+        tracer = active_tracer()
+        if tracer is None:
+            return self._train_step_impl(batch)
+        with tracer.span("train/step", cat="step") as sp:
+            loss = self._train_step_impl(batch)
+            sp.args["loss"] = loss
+        tracer.metrics.observe("train/loss", loss)
+        tracer.end_step(len(batch.inputs), sp)
+        return loss
+
+    def _train_step_impl(self, batch) -> float:
+        with span("train/zero_grad", cat="step"):
+            self._set_lr(warmup_cosine(
+                self._step, self.config.warmup_steps, self._total_steps,
+                self.config.lr, self.config.min_lr,
+            ))
+            self._zero_grad()
         loss = self._backward(batch)
-        norm = self._clip_and_step()
+        with span("train/optim", cat="step"):
+            norm = self._clip_and_step()
         self.history.grad_norms.append(norm)
         self._step += 1
         return loss

@@ -1,0 +1,67 @@
+"""CLI surface: ``repro profile``, ``repro trace``, and the ``repro plan``
+cost table they share pricing with."""
+
+import json
+
+import pytest
+
+from repro.cli import _parse_plan_spec, main
+
+
+def test_profile_quick_writes_valid_chrome_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    metrics = tmp_path / "metrics.txt"
+    rc = main(["profile", "--quick", "--trace-out", str(trace),
+               "--metrics-out", str(metrics)])
+    assert rc == 0
+    doc = json.loads(trace.read_text())
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert any(e["name"] == "train/step" for e in xs)
+    assert any(e["name"] == "train/forward" for e in xs)
+    assert all(e["dur"] >= 0 for e in xs)
+    out = capsys.readouterr().out
+    assert "span coverage of train/step:" in out
+    assert "per-step summary:" in out
+    assert "engine/linear/" in metrics.read_text()
+
+
+def test_trace_plan_writes_modeled_timeline(tmp_path, capsys):
+    out_path = tmp_path / "plan_trace.json"
+    rc = main(["trace", "--plan", "tp=2,fsdp=2,tiles=2,ddp=2",
+               "--output", str(out_path)])
+    assert rc == 0
+    doc = json.loads(out_path.read_text())
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert {e["tid"] for e in xs} == set(range(16))
+    cats = {e["cat"] for e in xs}
+    assert cats == {"comm", "compute"}
+    comm = next(e for e in xs if e["cat"] == "comm")
+    assert comm["args"]["modeled"] is True and comm["args"]["bytes"] > 0
+    out = capsys.readouterr().out
+    assert "modeled step time:" in out
+
+
+def test_trace_rejects_bad_plan(capsys):
+    assert main(["trace", "--plan", "tp=two"]) == 1
+    assert "invalid plan" in capsys.readouterr().err
+
+
+def test_plan_prints_per_level_modeled_times(capsys):
+    rc = main(["plan", "--model", "1B", "--world", "16", "--tp", "2",
+               "--fsdp", "2", "--tiles", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "modelled time per level:" in out
+    assert "modelled comm time per step:" in out
+    header = next(l for l in out.splitlines() if l.startswith("level"))
+    assert "ms/step" in header
+
+
+def test_parse_plan_spec():
+    assert _parse_plan_spec("tp=2,ddp=4") == {"tp": 2, "fsdp": 1,
+                                              "tiles": 1, "ddp": 4}
+    assert _parse_plan_spec("") == {"tp": 1, "fsdp": 1, "tiles": 1, "ddp": 1}
+    with pytest.raises(ValueError):
+        _parse_plan_spec("pp=2")
+    with pytest.raises(ValueError):
+        _parse_plan_spec("tp=x")

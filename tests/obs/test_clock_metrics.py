@@ -1,0 +1,83 @@
+"""SimClock and MetricsRegistry unit tests."""
+
+import pytest
+
+from repro.obs import Histogram, MetricsRegistry, SimClock
+
+
+def _manual_clock():
+    """A SimClock driven by a settable fake wall clock."""
+    wall = [100.0]
+    clock = SimClock(wall=lambda: wall[0])
+    return wall, clock
+
+
+class TestSimClock:
+    def test_now_is_wall_since_construction(self):
+        wall, clock = _manual_clock()
+        assert clock.now() == 0.0
+        wall[0] += 2.5
+        assert clock.now() == pytest.approx(2.5)
+        assert clock.now(rank=7) == pytest.approx(2.5)  # no offsets yet
+
+    def test_advance_moves_only_that_rank(self):
+        wall, clock = _manual_clock()
+        clock.advance(1, 0.25)
+        clock.advance(1, 0.5)
+        assert clock.now(0) == 0.0
+        assert clock.now(1) == pytest.approx(0.75)
+        assert clock.offset(1) == pytest.approx(0.75)
+        assert clock.offset(0) == 0.0
+
+    def test_wall_and_modeled_time_compose(self):
+        wall, clock = _manual_clock()
+        wall[0] += 1.0
+        clock.advance(3, 2.0)
+        assert clock.now(3) == pytest.approx(3.0)
+
+    def test_negative_advance_rejected(self):
+        _, clock = _manual_clock()
+        with pytest.raises(ValueError):
+            clock.advance(0, -1e-9)
+
+
+class TestMetrics:
+    def test_counters_accumulate(self):
+        m = MetricsRegistry()
+        m.inc("a/b")
+        m.inc("a/b", 4.0)
+        assert m.counters["a/b"] == 5.0
+
+    def test_gauge_keeps_last(self):
+        m = MetricsRegistry()
+        m.gauge("g", 1.0)
+        m.gauge("g", 3.0)
+        assert m.gauges["g"] == 3.0
+
+    def test_histogram_summary(self):
+        h = Histogram()
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.mean == pytest.approx(2.5)
+        assert h.min == 1.0 and h.max == 4.0
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+
+    def test_as_dict_and_dump(self):
+        m = MetricsRegistry()
+        m.inc("c", 2)
+        m.gauge("g", 7)
+        m.observe("h", 1.0)
+        d = m.as_dict()
+        assert d["counters"]["c"] == 2.0
+        assert d["histograms"]["h"]["count"] == 1
+        text = m.dump()
+        assert "counters:" in text and "gauges:" in text and "histograms:" in text
+
+    def test_reset(self):
+        m = MetricsRegistry()
+        m.inc("c")
+        m.observe("h", 1.0)
+        m.reset()
+        assert not m.counters and not m.gauges and not m.histograms

@@ -1,0 +1,102 @@
+"""Exporter tests: Chrome trace format, coverage check, summary tables."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    SimClock,
+    Span,
+    Tracer,
+    chrome_trace,
+    span_coverage,
+    step_summary,
+    summary_table,
+    write_chrome_trace,
+)
+
+
+def _span(name, start, dur, rank=0, depth=0, cat="app", **args):
+    return Span(name=name, cat=cat, rank=rank, start_s=start, dur_s=dur,
+                depth=depth, args=dict(args))
+
+
+class TestChromeTrace:
+    def test_structure_and_units(self):
+        doc = chrome_trace([_span("step", 0.001, 0.002, rank=3)])
+        events = doc["traceEvents"]
+        meta = [e for e in events if e["ph"] == "M"]
+        xs = [e for e in events if e["ph"] == "X"]
+        assert doc["displayTimeUnit"] == "ms"
+        assert {m["name"] for m in meta} == {"process_name", "thread_name"}
+        assert any(m.get("tid") == 3 and m["args"]["name"] == "rank 3"
+                   for m in meta)
+        (ev,) = xs
+        assert ev["ts"] == pytest.approx(1000.0)   # seconds -> microseconds
+        assert ev["dur"] == pytest.approx(2000.0)
+        assert ev["tid"] == 3 and ev["pid"] == 0
+
+    def test_write_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, [_span("a", 0.0, 1.0),
+                                  _span("b", 0.0, 0.5, rank=1)])
+        doc = json.loads(path.read_text())
+        names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert names == ["a", "b"]
+
+
+class TestSpanCoverage:
+    def test_fully_covered(self):
+        spans = [_span("root", 0.0, 10.0),
+                 _span("a", 0.0, 6.0, depth=1),
+                 _span("b", 6.0, 4.0, depth=1)]
+        assert span_coverage(spans, "root") == pytest.approx(1.0)
+
+    def test_gap_counts_against_coverage(self):
+        spans = [_span("root", 0.0, 10.0),
+                 _span("a", 0.0, 4.0, depth=1)]
+        assert span_coverage(spans, "root") == pytest.approx(0.4)
+
+    def test_overlapping_children_not_double_counted(self):
+        spans = [_span("root", 0.0, 10.0),
+                 _span("a", 0.0, 6.0, depth=1),
+                 _span("b", 4.0, 4.0, depth=1)]  # overlaps a by 2
+        assert span_coverage(spans, "root") == pytest.approx(0.8)
+
+    def test_only_requested_rank_considered(self):
+        spans = [_span("root", 0.0, 10.0),
+                 _span("other", 0.0, 10.0, rank=1, depth=1)]
+        assert span_coverage(spans, "root") == 0.0
+
+    def test_missing_root(self):
+        assert span_coverage([_span("x", 0.0, 1.0)], "root") == 0.0
+
+
+class TestSummaries:
+    def test_summary_table_aggregates_by_name(self):
+        spans = [_span("step", 0.0, 2.0),
+                 _span("fwd", 0.0, 1.0, depth=1),
+                 _span("fwd", 1.0, 0.5, depth=1)]
+        text = summary_table(spans)
+        lines = text.splitlines()
+        assert lines[0].split() == ["span", "calls", "total_ms", "mean_ms",
+                                    "share"]
+        fwd = next(l for l in lines if l.startswith("fwd"))
+        assert fwd.split() == ["fwd", "2", "1500.000", "750.000", "75.0%"]
+
+    def test_step_summary_headline_numbers(self):
+        wall = [0.0]
+        tr = Tracer(clock=SimClock(wall=lambda: wall[0]))
+        with tr:
+            with tr.span("train/step") as sp:
+                tr.record_op("linear", 1000.0, 64)
+                tr.collective("all_reduce", [0, 1], nbytes=256, modeled_s=0.1)
+                wall[0] += 2.0
+            tr.end_step(4, sp)
+        out = step_summary(tr)
+        assert out["steps"] == 1
+        assert out["engine_flops"] == 1000.0
+        assert out["comm_bytes"] == 256.0
+        assert out["comm_modeled_s"] == pytest.approx(0.1)
+        assert out["tape_bytes_hwm"] == 64.0
+        assert out["flops_per_s"] == pytest.approx(1000.0 / sp.dur_s)

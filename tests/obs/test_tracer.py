@@ -1,0 +1,150 @@
+"""Tracer behaviour: installation, span trees, collectives, step closeout."""
+
+import threading
+
+import pytest
+
+from repro.obs import SimClock, Tracer, active_tracer, span
+from repro.obs.tracer import _DISABLED
+
+
+def _manual_tracer():
+    wall = [0.0]
+    return wall, Tracer(clock=SimClock(wall=lambda: wall[0]))
+
+
+class TestInstallation:
+    def test_disabled_by_default(self):
+        assert active_tracer() is None
+
+    def test_module_span_is_shared_noop_when_disabled(self):
+        # the disabled fast path: one shared nullcontext, no allocation
+        assert span("anything") is _DISABLED
+        assert span("other", cat="comm", rank=3) is _DISABLED
+        with span("x"):
+            pass  # reentrant and harmless
+
+    def test_context_installs_and_restores(self):
+        with Tracer() as tr:
+            assert active_tracer() is tr
+        assert active_tracer() is None
+
+    def test_nested_tracers_restore_previous(self):
+        with Tracer() as outer:
+            with Tracer() as inner:
+                assert active_tracer() is inner
+            assert active_tracer() is outer
+        assert active_tracer() is None
+
+    def test_install_is_thread_local(self):
+        seen = {}
+
+        def other_thread():
+            seen["tracer"] = active_tracer()
+
+        with Tracer():
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["tracer"] is None
+
+
+class TestSpans:
+    def test_span_tree_depth_and_duration(self):
+        wall, tr = _manual_tracer()
+        with tr:
+            with tr.span("step") as outer:
+                wall[0] += 1.0
+                with tr.span("inner") as child:
+                    wall[0] += 2.0
+                wall[0] += 0.5
+        assert outer.depth == 0 and child.depth == 1
+        assert child.start_s == pytest.approx(1.0)
+        assert child.dur_s == pytest.approx(2.0)
+        assert outer.dur_s == pytest.approx(3.5)
+        assert tr.spans == [outer, child]
+
+    def test_span_args_mutable_inside(self):
+        _, tr = _manual_tracer()
+        with tr:
+            with tr.span("s", static=1) as sp:
+                sp.args["loss"] = 0.5
+        assert sp.args == {"static": 1, "loss": 0.5}
+
+    def test_module_span_routes_to_active_tracer(self):
+        _, tr = _manual_tracer()
+        with tr:
+            with span("via-module"):
+                pass
+        assert [s.name for s in tr.spans] == ["via-module"]
+
+    def test_per_rank_stacks_independent(self):
+        _, tr = _manual_tracer()
+        with tr:
+            with tr.span("a", rank=0):
+                with tr.span("b", rank=1) as other:
+                    pass
+        assert other.depth == 0  # rank 1 has its own (empty) stack
+
+
+class TestCollectives:
+    def test_collective_advances_member_clocks_only(self):
+        wall, tr = _manual_tracer()
+        with tr:
+            tr.collective("all_reduce", [0, 1], nbytes=1024, modeled_s=0.5)
+        assert tr.clock.offset(0) == pytest.approx(0.5)
+        assert tr.clock.offset(1) == pytest.approx(0.5)
+        assert tr.clock.offset(2) == 0.0
+        spans = [s for s in tr.spans if s.name == "comm/all_reduce"]
+        assert sorted(s.rank for s in spans) == [0, 1]
+        assert all(s.cat == "comm" and s.dur_s == pytest.approx(0.5)
+                   for s in spans)
+        assert spans[0].args["bytes"] == 1024.0
+        assert spans[0].args["group_size"] == 2
+
+    def test_calls_coalescing(self):
+        _, tr = _manual_tracer()
+        with tr:
+            tr.collective("all_reduce", [0], nbytes=100, modeled_s=0.1, calls=8)
+        (sp,) = tr.spans
+        assert sp.dur_s == pytest.approx(0.8)
+        assert tr.metrics.counters["comm/all_reduce/calls"] == 8
+        assert tr.metrics.counters["comm/all_reduce/bytes"] == 800.0
+        assert tr.metrics.counters["comm/modeled_time_s"] == pytest.approx(0.8)
+
+    def test_collective_span_starts_at_rank_clock(self):
+        wall, tr = _manual_tracer()
+        with tr:
+            tr.collective("broadcast", [2], nbytes=10, modeled_s=0.25)
+            tr.collective("broadcast", [2], nbytes=10, modeled_s=0.25)
+        first, second = tr.spans
+        assert first.start_s == 0.0
+        assert second.start_s == pytest.approx(0.25)
+
+
+class TestStepCloseout:
+    def test_end_step_records_throughput_and_hwm(self):
+        wall, tr = _manual_tracer()
+        with tr:
+            with tr.span("train/step") as sp:
+                tr.record_op("linear", flops=100.0, nbytes=64)
+                tr.record_op("add", flops=8.0, nbytes=32)
+                wall[0] += 2.0
+            tr.end_step(4, sp)
+        m = tr.metrics
+        assert m.counters["engine/linear/nodes"] == 1
+        assert m.counters["engine/linear/flops"] == 100.0
+        assert m.histograms["train/samples_per_s"].mean == pytest.approx(2.0)
+        assert m.histograms["train/step_s"].mean == pytest.approx(2.0)
+        assert m.gauges["mem/tape_bytes_hwm"] == 96.0
+        assert sp.args["tape_bytes"] == 96.0
+
+    def test_hwm_is_max_over_steps(self):
+        wall, tr = _manual_tracer()
+        with tr:
+            for nbytes in (100, 300, 50):
+                with tr.span("train/step") as sp:
+                    tr.record_op("mul", 1.0, nbytes)
+                    wall[0] += 1.0
+                tr.end_step(1, sp)
+        assert tr.metrics.gauges["mem/tape_bytes_hwm"] == 300.0

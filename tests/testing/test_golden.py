@@ -71,6 +71,7 @@ class TestBenchmarkWiring:
             sys.path.pop(0)
         monkeypatch.setattr(common, "RESULTS_DIR", tmp_path / "results")
         monkeypatch.setattr(common, "GOLDEN_DIR", tmp_path / "golden")
+        monkeypatch.setattr(common, "BENCH_OBS_PATH", tmp_path / "BENCH_obs.json")
         common.write_table("unit", ["x 1.00"])
         assert (tmp_path / "golden" / "unit.golden").exists()
         common.write_table("unit", ["x 1.01"])  # within rtol=0.5
