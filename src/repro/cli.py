@@ -102,6 +102,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="comma-separated level sizes, e.g. tp=2,fsdp=2,"
                          "tiles=1,ddp=4 (world = their product)")
     tr.add_argument("--tokens-per-tile", type=int, default=4096)
+    tr.add_argument("--overlap", action="store_true",
+                    help="two-stream schedule: bucketed reduce collectives "
+                         "on per-level comm streams, overlapped with compute")
+    tr.add_argument("--n-buckets", type=int, default=8,
+                    help="gradient buckets for the overlapped schedule")
     tr.add_argument("--output", default="plan_trace.json")
 
     x = sub.add_parser("export", help="export a dataset split to .npz")
@@ -210,7 +215,7 @@ def _cmd_scale(args) -> int:
 
 
 def _print_plan_costs(plan, cfg, tokens_per_tile: int = 4096) -> None:
-    from repro.distributed import plan_comm_costs
+    from repro.distributed import overlap_report, plan_comm_costs
 
     sizes = plan.level_sizes()
     print(f"composite plan on {plan.cluster.world_size} GPUs: "
@@ -234,6 +239,17 @@ def _print_plan_costs(plan, cfg, tokens_per_tile: int = 4096) -> None:
         share = t / total if total else 0.0
         print(f"  {level:<6s} {t * 1e3:>10.3f} ms  ({share:5.1%})")
     print(f"modelled comm time per step: {total:.4f}s")
+    op_calls: dict[str, int] = {}
+    for row in rows:
+        op_calls[row["op"]] = op_calls.get(row["op"], 0) + row["calls"]
+    print("calls per op: " + ", ".join(f"{op}={n}"
+                                       for op, n in sorted(op_calls.items())))
+    rep = overlap_report(plan, cfg, tokens_per_tile=tokens_per_tile)
+    print(f"overlap: step {rep['step_time_barrier'] * 1e3:.3f} -> "
+          f"{rep['step_time_overlap'] * 1e3:.3f} ms "
+          f"(modeled speedup {rep['speedup']:.2f}x)")
+    print(f"  exposed comm {rep['exposed_comm_time'] * 1e3:.3f} ms, "
+          f"hidden under compute {rep['overlapped_fraction']:.1%}")
 
 
 def _cmd_plan(args) -> int:
@@ -311,7 +327,7 @@ def _parse_plan_spec(spec: str) -> dict[str, int]:
 def _cmd_trace(args) -> int:
     from repro.core import PAPER_CONFIGS
     from repro.distributed import (CompositePlan, VirtualCluster,
-                                   modeled_step_timeline)
+                                   modeled_step_timeline, overlap_report)
     from repro.obs import write_chrome_trace
 
     cfg = PAPER_CONFIGS[args.model]
@@ -323,7 +339,9 @@ def _cmd_trace(args) -> int:
         print(f"invalid plan: {exc}", file=sys.stderr)
         return 1
     spans = modeled_step_timeline(plan, cfg,
-                                 tokens_per_tile=args.tokens_per_tile)
+                                 tokens_per_tile=args.tokens_per_tile,
+                                 overlap=args.overlap,
+                                 n_buckets=args.n_buckets)
     write_chrome_trace(args.output, spans)
     step_end = max(sp.end_s for sp in spans)
     by_cat: dict[str, float] = {}
@@ -333,10 +351,18 @@ def _cmd_trace(args) -> int:
     print(f"modeled timeline for {args.model} on "
           + " x ".join(f"{k}={sizes[k]}" for k in ("tp", "fsdp", "tiles", "ddp"))
           + f" (world={world})")
-    print(f"  spans: {len(spans)} over {world} ranks")
+    print(f"  spans: {len(spans)} over {world} ranks"
+          + (" (two streams per rank)" if args.overlap else ""))
     for cat in sorted(by_cat):
         print(f"  rank-0 {cat:<8s} {by_cat[cat] * 1e3:>10.3f} ms")
     print(f"  modeled step time: {step_end * 1e3:.3f} ms")
+    if args.overlap:
+        rep = overlap_report(plan, cfg, tokens_per_tile=args.tokens_per_tile,
+                             n_buckets=args.n_buckets)
+        print(f"  barrier step time: {rep['step_time_barrier'] * 1e3:.3f} ms "
+              f"(modeled speedup {rep['speedup']:.2f}x)")
+        print(f"  exposed comm: {rep['exposed_comm_time'] * 1e3:.3f} ms; "
+              f"hidden under compute: {rep['overlapped_fraction']:.1%}")
     print(f"trace written to {args.output} (load at https://ui.perfetto.dev)")
     return 0
 

@@ -4,7 +4,12 @@ and the Bayesian downscaling objective."""
 from .canny import canny_edges, edge_density, gaussian_blur, sobel_gradients
 from .compression import QuadLeaf, QuadTreeCompressor, build_quadtree, uniform_token_count
 from .config import PAPER_CONFIGS, ModelConfig, transformer_param_count
-from .losses import BayesianDownscalingLoss, latitude_weighted_mse, mrf_tv_prior
+from .losses import (
+    BayesianDownscalingLoss,
+    LatitudeTileLoss,
+    latitude_weighted_mse,
+    mrf_tv_prior,
+)
 from .reslim import MAX_FACTOR_LOG2, Reslim, reslim_sequence_length
 from .sparse_attention import AxialAttention, GridAttention, sparse_attention_cost
 from .swin import (
@@ -40,6 +45,7 @@ __all__ = [
     "PAPER_CONFIGS",
     "transformer_param_count",
     "BayesianDownscalingLoss",
+    "LatitudeTileLoss",
     "latitude_weighted_mse",
     "mrf_tv_prior",
     "Reslim",

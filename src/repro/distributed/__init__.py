@@ -1,7 +1,8 @@
 """Simulated multi-GPU cluster: collectives, the four parallelisms, the
 Frontier topology model, and the analytic performance model."""
 
-from .comm import CommStats, ProcessGroup, VirtualCluster
+from .bucketer import GradBucket, GradBucketer, aligned_ring_chunks
+from .comm import CommStats, ProcessGroup, VirtualCluster, Work
 from .ddp import DistributedDataParallel, flatten_grads, scatter_batch, unflatten_to_grads
 from .fsdp import FSDPEngine, shard_array, unshard_arrays
 from .hybrid_op import HybridOpChain, hybrid_chain_volume, naive_sharded_chain_volume
@@ -19,6 +20,7 @@ from .perf_model import (
     max_output_tokens,
     memory_per_gpu_bytes,
     modeled_step_timeline,
+    overlap_report,
     plan_comm_costs,
     step_traffic_schedule,
     strong_scaling_efficiency,
@@ -52,6 +54,10 @@ from .topology import FRONTIER, FrontierTopology, GPUSpec, LinkLevel
 
 __all__ = [
     "ProcessGroup",
+    "Work",
+    "GradBucket",
+    "GradBucketer",
+    "aligned_ring_chunks",
     "PipelineParallel",
     "pipeline_bubble_fraction",
     "gpipe_timeline",
@@ -104,6 +110,7 @@ __all__ = [
     "plan_comm_costs",
     "step_traffic_schedule",
     "modeled_step_timeline",
+    "overlap_report",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",

@@ -21,7 +21,7 @@ import numpy as np
 from ..obs.tracer import active_tracer
 from .topology import FrontierTopology
 
-__all__ = ["CommStats", "ProcessGroup", "VirtualCluster"]
+__all__ = ["CommStats", "ProcessGroup", "VirtualCluster", "Work"]
 
 
 @dataclass
@@ -30,10 +30,14 @@ class CommStats:
 
     calls: dict[str, int] = field(default_factory=dict)
     bytes_per_rank: dict[str, float] = field(default_factory=dict)
+    async_launches: dict[str, int] = field(default_factory=dict)
 
     def record(self, op: str, sent_bytes_per_rank: float) -> None:
         self.calls[op] = self.calls.get(op, 0) + 1
         self.bytes_per_rank[op] = self.bytes_per_rank.get(op, 0.0) + sent_bytes_per_rank
+
+    def record_async(self, op: str) -> None:
+        self.async_launches[op] = self.async_launches.get(op, 0) + 1
 
     def total_bytes(self) -> float:
         return sum(self.bytes_per_rank.values())
@@ -41,6 +45,41 @@ class CommStats:
     def reset(self) -> None:
         self.calls.clear()
         self.bytes_per_rank.clear()
+        self.async_launches.clear()
+
+
+class Work:
+    """Handle for an asynchronously launched collective.
+
+    The simulated collective's *values* are computed eagerly at launch
+    (sharing the exact ring arithmetic with the synchronous path, so the
+    results are bit-identical), but its *time* is scheduled on the
+    member ranks' comm streams.  ``wait()`` returns the result buffers
+    and charges each member's compute clock only for the **exposed**
+    residual — the part of the collective that had not yet finished when
+    the rank stopped to wait.  ``wait()`` is idempotent.
+    """
+
+    def __init__(self, op: str, results, ranks: list[int], handle=None):
+        self.op = op
+        self.ranks = list(ranks)
+        self._results = results
+        self._handle = handle  # tracer token from collective_async, or None
+        self._done = False
+
+    @property
+    def completed(self) -> bool:
+        return self._done
+
+    def wait(self):
+        """Complete the collective and return its result buffers."""
+        if not self._done:
+            self._done = True
+            if self._handle is not None:
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.complete_async(self._handle)
+        return self._results
 
 
 def _check_buffers(buffers: list[np.ndarray]) -> None:
@@ -87,12 +126,17 @@ class ProcessGroup:
     # ------------------------------------------------------------------ #
     # collectives — each takes one buffer per group member, in group order
     # ------------------------------------------------------------------ #
-    def all_reduce(self, buffers: list[np.ndarray], op: str = "mean") -> list[np.ndarray]:
-        """Ring all-reduce: reduce-scatter then all-gather over P chunks.
+    def _all_reduce_values(self, buffers: list[np.ndarray], op: str,
+                           chunks=None) -> list[np.ndarray]:
+        """Shared ring all-reduce arithmetic (sync and async paths).
 
-        Each rank sends 2·(P−1)/P of its buffer — the canonical
-        bandwidth-optimal volume.  Reduction order follows the ring, so
-        float32 rounding matches a real NCCL/RCCL ring.
+        ``chunks`` optionally overrides the ring's chunk partition with an
+        explicit list of P index arrays (empty arrays allowed).  A chunk
+        assignment determines where each element's cyclic summation
+        starts, hence its float32 rounding — bucketed reductions pass the
+        *globally aligned* partition so a bucket-sized all-reduce is
+        bit-identical to the corresponding slice of a whole-buffer
+        all-reduce.  The chunks must jointly cover every element.
         """
         _check_buffers(buffers)
         if len(buffers) != self.size:
@@ -101,11 +145,13 @@ class ProcessGroup:
             raise ValueError(f"unsupported op {op!r}")
         p = self.size
         if p == 1:
-            self.stats.record("all_reduce", 0.0)
             return [buffers[0].copy()]
         flat = [b.reshape(-1).astype(np.float32).copy() for b in buffers]
         n = flat[0].size
-        chunks = np.array_split(np.arange(n), p)
+        if chunks is None:
+            chunks = np.array_split(np.arange(n), p)
+        elif len(chunks) != p:
+            raise ValueError(f"expected {p} chunk index arrays, got {len(chunks)}")
         # reduce-scatter phase: after p-1 steps rank r owns the full
         # reduction of chunk (r+1) mod p
         for step in range(p - 1):
@@ -126,28 +172,49 @@ class ProcessGroup:
         if op == "mean":
             for f in flat:
                 f /= p
-        sent = 2 * (p - 1) / p * buffers[0].nbytes
-        self.stats.record("all_reduce", sent)
-        self._trace("all_reduce", buffers[0].nbytes, sent)
         return [f.reshape(buffers[0].shape) for f in flat]
 
-    def all_gather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
-        """Ring all-gather: every rank ends with the concatenation
-        (axis 0) of all ranks' buffers in group order."""
+    def all_reduce(self, buffers: list[np.ndarray], op: str = "mean",
+                   chunks=None) -> list[np.ndarray]:
+        """Ring all-reduce: reduce-scatter then all-gather over P chunks.
+
+        Each rank sends 2·(P−1)/P of its buffer — the canonical
+        bandwidth-optimal volume.  Reduction order follows the ring, so
+        float32 rounding matches a real NCCL/RCCL ring.
+        """
+        results = self._all_reduce_values(buffers, op, chunks)
+        if self.size == 1:
+            self.stats.record("all_reduce", 0.0)
+            return results
+        sent = 2 * (self.size - 1) / self.size * buffers[0].nbytes
+        self.stats.record("all_reduce", sent)
+        self._trace("all_reduce", buffers[0].nbytes, sent)
+        return results
+
+    def _all_gather_values(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
         _check_buffers(buffers)
         if len(buffers) != self.size:
             raise ValueError(f"expected {self.size} buffers, got {len(buffers)}")
         full = np.concatenate(buffers, axis=0)
+        return [full.copy() for _ in range(self.size)]
+
+    def all_gather(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Ring all-gather: every rank ends with the concatenation
+        (axis 0) of all ranks' buffers in group order."""
+        results = self._all_gather_values(buffers)
         # ring all-gather: each rank forwards its shard (p-1) hops
         sent = (self.size - 1) * buffers[0].nbytes
         self.stats.record("all_gather", sent)
         self._trace("all_gather", buffers[0].nbytes, sent)
-        return [full.copy() for _ in range(self.size)]
+        return results
 
-    def reduce_scatter(self, buffers: list[np.ndarray], op: str = "sum") -> list[np.ndarray]:
-        """Each rank ends with its 1/P slice of the element-wise reduction.
+    def _reduce_scatter_values(self, buffers: list[np.ndarray],
+                               op: str) -> list[np.ndarray]:
+        """Element-wise float64 reduction then 1/P split.
 
-        Buffers must have leading dimension divisible by the group size.
+        Unlike the ring all-reduce, the reduction here is element-wise
+        over *all* ranks at once, so any partition of the parameter space
+        into buckets reduces bit-identically to one whole-buffer call.
         """
         _check_buffers(buffers)
         if len(buffers) != self.size:
@@ -162,10 +229,18 @@ class ProcessGroup:
         elif op != "sum":
             raise ValueError(f"unsupported op {op!r}")
         shards = np.array_split(total.astype(np.float32), self.size, axis=0)
+        return [s.copy() for s in shards]
+
+    def reduce_scatter(self, buffers: list[np.ndarray], op: str = "sum") -> list[np.ndarray]:
+        """Each rank ends with its 1/P slice of the element-wise reduction.
+
+        Buffers must have leading dimension divisible by the group size.
+        """
+        results = self._reduce_scatter_values(buffers, op)
         sent = (self.size - 1) / self.size * buffers[0].nbytes
         self.stats.record("reduce_scatter", sent)
         self._trace("reduce_scatter", buffers[0].nbytes, sent)
-        return [s.copy() for s in shards]
+        return results
 
     def broadcast(self, buffer: np.ndarray, root_index: int = 0) -> list[np.ndarray]:
         """Binomial-tree broadcast from the group member at ``root_index``."""
@@ -195,6 +270,57 @@ class ProcessGroup:
         self.stats.record("all_to_all", sent)
         self._trace("all_to_all", buffers[0].nbytes, sent)
         return out
+
+    # ------------------------------------------------------------------ #
+    # async collectives — same math, comm-stream timing
+    # ------------------------------------------------------------------ #
+    def _launch_async(self, op: str, results, payload_nbytes: float,
+                      sent: float) -> Work:
+        """Record stats and schedule the collective on the comm stream.
+
+        Values were already computed (eagerly, bit-identically to the
+        sync path); here we only account for the *time*: the span starts
+        at the latest member's current position (compute clock or comm
+        frontier, whichever is later) and the member compute clocks are
+        NOT advanced — ``Work.wait()`` charges only the exposed residual.
+        """
+        self.stats.record(op, sent)
+        self.stats.record_async(op)
+        handle = None
+        if self.size > 1:
+            tracer = active_tracer()
+            if tracer is not None:
+                handle = tracer.collective_async(
+                    op, self.ranks, payload_nbytes,
+                    self.collective_time(op, payload_nbytes),
+                    sent_bytes=sent)
+        return Work(op, results, self.ranks, handle)
+
+    def all_reduce_async(self, buffers: list[np.ndarray], op: str = "mean",
+                         chunks=None) -> Work:
+        """Asynchronous ring all-reduce; result via ``Work.wait()``."""
+        results = self._all_reduce_values(buffers, op, chunks)
+        if self.size == 1:
+            self.stats.record("all_reduce", 0.0)
+            self.stats.record_async("all_reduce")
+            return Work("all_reduce", results, self.ranks)
+        sent = 2 * (self.size - 1) / self.size * buffers[0].nbytes
+        return self._launch_async("all_reduce", results, buffers[0].nbytes, sent)
+
+    def reduce_scatter_async(self, buffers: list[np.ndarray],
+                             op: str = "sum") -> Work:
+        """Asynchronous reduce-scatter; result via ``Work.wait()``."""
+        results = self._reduce_scatter_values(buffers, op)
+        sent = (self.size - 1) / self.size * buffers[0].nbytes
+        return self._launch_async("reduce_scatter", results,
+                                  buffers[0].nbytes, sent)
+
+    def all_gather_async(self, buffers: list[np.ndarray]) -> Work:
+        """Asynchronous ring all-gather; result via ``Work.wait()``."""
+        results = self._all_gather_values(buffers)
+        sent = (self.size - 1) * buffers[0].nbytes
+        return self._launch_async("all_gather", results,
+                                  buffers[0].nbytes, sent)
 
     # ------------------------------------------------------------------ #
     # cost model

@@ -14,6 +14,7 @@ import numpy as np
 from ..nn import Module
 from ..nn.flat import FlatParamBuffer
 from ..tensor import Tensor
+from .bucketer import GradBucketer, aligned_ring_chunks
 from .comm import ProcessGroup
 
 __all__ = ["DistributedDataParallel", "scatter_batch", "flatten_grads", "unflatten_to_grads"]
@@ -63,9 +64,19 @@ class DistributedDataParallel:
         The process group used for the gradient all-reduce.
     loss_fn:
         Callable ``(pred: Tensor, target: Tensor) -> Tensor`` (scalar).
+    overlap:
+        Launch the gradient all-reduce in backward-driven buckets
+        (:class:`~repro.distributed.bucketer.GradBucketer`) as
+        ``all_reduce_async`` calls instead of one post-backward barrier.
+        Numerics are bit-identical to the eager path: each bucket passes
+        the globally aligned ring-chunk partition, so its float32
+        summation order matches the whole-buffer call.
+    bucket_bytes:
+        Target bucket size when ``overlap`` is on.
     """
 
-    def __init__(self, replicas: list[Module], group: ProcessGroup, loss_fn):
+    def __init__(self, replicas: list[Module], group: ProcessGroup, loss_fn,
+                 overlap: bool = False, bucket_bytes: int = 1 << 16):
         if len(replicas) != group.size:
             raise ValueError(f"{len(replicas)} replicas for group of {group.size}")
         self.replicas = replicas
@@ -80,27 +91,80 @@ class DistributedDataParallel:
         # accumulates into it in place and the all-reduce sends it whole,
         # so no per-parameter flatten/unflatten copies happen per step
         self.buffers = [FlatParamBuffer(list(rep.parameters())) for rep in replicas]
+        self.overlap = overlap
+        self.bucketers = ([GradBucketer(buf, bucket_bytes)
+                           for buf in self.buffers] if overlap else [])
+        self._works: list[tuple[int, int, object]] = []
 
     def forward_backward(self, inputs: np.ndarray, targets: np.ndarray,
                          loss_fn=None) -> list[float]:
-        """Per-rank forward/backward on the scattered batch (no comm).
+        """Per-rank forward/backward on the scattered batch.
 
         Gradients accumulate into each replica's flat buffer; returns the
         per-rank losses.  ``loss_fn`` overrides the constructor's loss.
+        With ``overlap`` on, each bucket's async all-reduce launches the
+        moment the *last* replica's tape walk finalizes its members, so
+        the reduction of tail buckets runs under the head of backward.
         """
         loss_fn = loss_fn or self.loss_fn
         shards = scatter_batch(inputs, targets, self.group.size)
+        if not self.overlap:
+            losses = []
+            for model, buf, (x, y) in zip(self.replicas, self.buffers, shards):
+                buf.zero_grad()
+                loss = loss_fn(model(Tensor(x)), Tensor(y))
+                loss.backward()
+                buf.sync_grads()  # no-op unless something detached a .grad view
+                losses.append(float(loss.data))
+            return losses
+        # bucketed overlap: a bucket is reducible only once every replica
+        # produced its gradients, so count per-index readiness across
+        # replicas and launch on the last arrival (all replicas share the
+        # bucket layout — same model, same flat spans)
+        self._works = []
+        counts = [0] * len(self.bucketers[0].buckets)
+        n = len(self.replicas)
+
+        def on_bucket(bucket) -> None:
+            counts[bucket.index] += 1
+            if counts[bucket.index] == n:
+                self._launch_bucket(bucket)
+
         losses = []
-        for model, buf, (x, y) in zip(self.replicas, self.buffers, shards):
+        for model, buf, bucketer, (x, y) in zip(self.replicas, self.buffers,
+                                                self.bucketers, shards):
             buf.zero_grad()
-            loss = loss_fn(model(Tensor(x)), Tensor(y))
-            loss.backward()
-            buf.sync_grads()  # no-op unless something detached a .grad view
+            bucketer.arm(on_bucket)
+            try:
+                loss = loss_fn(model(Tensor(x)), Tensor(y))
+                loss.backward()
+                bucketer.flush()  # params the tape never reached
+            finally:
+                bucketer.disarm()
+            buf.sync_grads()
             losses.append(float(loss.data))
         return losses
 
+    def _launch_bucket(self, bucket) -> None:
+        chunks = aligned_ring_chunks(bucket.lo, bucket.hi,
+                                     self.buffers[0].size, self.group.size)
+        work = self.group.all_reduce_async(
+            [buf.grad[bucket.lo:bucket.hi] for buf in self.buffers],
+            op="mean", chunks=chunks)
+        self._works.append((bucket.lo, bucket.hi, work))
+
     def reduce_gradients(self) -> None:
-        """Average the flat gradient buffers with one ring all-reduce."""
+        """Average the flat gradient buffers with one ring all-reduce.
+
+        In overlap mode, drains the bucket works launched during backward
+        instead — paying only the comm time backward didn't already hide.
+        """
+        if self.overlap:
+            for lo, hi, work in self._works:
+                for buf, flat in zip(self.buffers, work.wait()):
+                    buf.grad[lo:hi] = flat
+            self._works = []
+            return
         reduced = self.group.all_reduce([buf.grad for buf in self.buffers],
                                         op="mean")
         for buf, flat in zip(self.buffers, reduced):

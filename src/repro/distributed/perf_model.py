@@ -46,6 +46,7 @@ __all__ = [
     "plan_comm_costs",
     "step_traffic_schedule",
     "modeled_step_timeline",
+    "overlap_report",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",
@@ -423,7 +424,8 @@ def plan_comm_costs(plan: CompositePlan, config: ModelConfig,
 
 def modeled_step_timeline(plan: CompositePlan, config: ModelConfig,
                           tokens_per_tile: int = 4096, in_channels: int = 23,
-                          out_channels: int = 18) -> list:
+                          out_channels: int = 18, overlap: bool = False,
+                          n_buckets: int = 8) -> list:
     """Per-rank modeled timeline of one training step — no execution.
 
     Plays :func:`step_traffic_schedule` out over every group of each
@@ -432,6 +434,19 @@ def modeled_step_timeline(plan: CompositePlan, config: ModelConfig,
     forward and backward passes, so ``repro trace`` can render a
     world-64 step as a Perfetto timeline in milliseconds of model time.
     Returns :class:`repro.obs.Span` objects.
+
+    ``overlap=True`` switches to a two-stream schedule per rank: compute
+    stays on the main stream, while the reduce-phase collectives are
+    split into ``n_buckets`` backward-driven bucket pieces launched on
+    per-level comm streams (``stream="comm"`` spans) with dependency
+    edges from the bucket-ready times.  Three real overlap mechanisms
+    are modeled: (1) bucket k's reduction starts as soon as the tail of
+    backward finalizes its gradients, (2) each parallelism level owns
+    its own communicator stream, so bucket k's TILES/DDP all-reduce
+    pipelines under bucket k+1's FSDP reduce-scatter, and (3) the
+    backward FSDP weight all-gather is prefetched right after the
+    forward one (it must complete before backward starts).  The
+    ``overlap=False`` schedule is unchanged.
     """
     from ..obs.tracer import Span
 
@@ -474,23 +489,148 @@ def modeled_step_timeline(plan: CompositePlan, config: ModelConfig,
     by_phase: dict[str, list[dict]] = {}
     for entry in schedule:
         by_phase.setdefault(entry["phase"], []).append(entry)
-    for entry in by_phase.get("forward", ()):
-        if entry["op"] == "all_gather":  # weights arrive before compute
+
+    if not overlap:
+        for entry in by_phase.get("forward", ()):
+            if entry["op"] == "all_gather":  # weights arrive before compute
+                comm(entry)
+        compute("compute/forward", t_fwd)
+        for entry in by_phase.get("forward", ()):
+            if entry["op"] != "all_gather":
+                comm(entry)
+        for entry in by_phase.get("backward", ()):
+            if entry["op"] == "all_gather":
+                comm(entry)
+        compute("compute/backward", 2.0 * t_fwd)
+        for entry in by_phase.get("backward", ()):
+            if entry["op"] != "all_gather":
+                comm(entry)
+        for entry in by_phase.get("reduce", ()):
             comm(entry)
+        return spans
+
+    # ------------------------------------------------------------------ #
+    # two-stream overlapped schedule.  All groups of one level are
+    # congruent (same size, same link, same ready times), so per-level
+    # comm-stream frontiers and dependency edges are scalars; spans are
+    # still emitted for every member rank.
+    # ------------------------------------------------------------------ #
+    if n_buckets < 1:
+        raise ValueError("n_buckets must be >= 1")
+    front: dict[str, float] = {}
+
+    def comm_stream(entry: dict, nbytes: float, ready_s: float,
+                    bucket: int | None = None) -> float:
+        """Launch one async piece on its level's comm stream.
+
+        Starts at max(ready time, dependency edge folded into
+        ``ready_s``, the level stream's frontier); returns its end time
+        (``ready_s`` unchanged when the level has size-1 groups).
+        """
+        level, op = entry["level"], entry["op"]
+        end = ready_s
+        for ranks in plan.level_rank_sets()[level]:
+            if len(ranks) == 1:
+                continue
+            group = cluster.group(ranks)
+            dur = group.collective_time(op, int(nbytes))
+            start = max(ready_s, front.get(level, 0.0))
+            end = start + dur
+            args = {"op": op, "level": level, "bytes": float(nbytes),
+                    "calls": 1, "group_size": len(ranks), "modeled": True,
+                    "async": True}
+            if bucket is not None:
+                args["bucket"] = bucket
+            for r in ranks:
+                spans.append(Span(
+                    name=f"comm/{op}", cat="comm", rank=r, start_s=start,
+                    dur_s=dur, args=args, stream="comm"))
+        if end != ready_s:
+            front[level] = end
+        return end
+
+    for entry in by_phase.get("forward", ()):
+        if entry["op"] == "all_gather":
+            comm(entry)
+    # FSDP prefetch: the backward weight all-gather launches on the comm
+    # stream the moment the forward one is off the wire, hiding under
+    # forward compute + TP traffic; backward cannot start before it lands
+    prefetch_end = 0.0
+    for entry in by_phase.get("backward", ()):
+        if entry["op"] == "all_gather":
+            for _ in range(entry["calls"]):
+                prefetch_end = comm_stream(entry, entry["nbytes"],
+                                           max(t.values()))
     compute("compute/forward", t_fwd)
     for entry in by_phase.get("forward", ()):
         if entry["op"] != "all_gather":
             comm(entry)
-    for entry in by_phase.get("backward", ()):
-        if entry["op"] == "all_gather":
-            comm(entry)
-    compute("compute/backward", 2.0 * t_fwd)
+    for r in t:
+        t[r] = max(t[r], prefetch_end)
+    bwd_start = max(t.values())
+    t_bwd = 2.0 * t_fwd
+    compute("compute/backward", t_bwd)
+    # backward-driven bucketed reduction: bucket k's gradients are final
+    # at a uniform fraction of backward; each piece chains through the
+    # reduce levels (reduce_scatter -> tiles -> ddp) on per-level streams
+    reduce_entries = list(by_phase.get("reduce", ()))
+    for k in range(n_buckets):
+        ready = bwd_start + (k + 1) / n_buckets * t_bwd
+        dep = ready
+        for entry in reduce_entries:
+            dep = comm_stream(entry, entry["nbytes"] / n_buckets, dep,
+                              bucket=k)
     for entry in by_phase.get("backward", ()):
         if entry["op"] != "all_gather":
             comm(entry)
-    for entry in by_phase.get("reduce", ()):
-        comm(entry)
+    # the step ends when every rank's comm streams drain
+    drain = max(front.values(), default=0.0)
+    for r in t:
+        t[r] = max(t[r], drain)
     return spans
+
+
+def overlap_report(plan: CompositePlan, config: ModelConfig,
+                   tokens_per_tile: int = 4096, in_channels: int = 23,
+                   out_channels: int = 18, n_buckets: int = 8) -> dict:
+    """Compare the barrier and overlapped schedules of one step.
+
+    Returns the modeled step times of both schedules, the exposed
+    (unhidden) comm time of the overlapped one, the fraction of async
+    comm hidden under compute, and the speedup.  By construction
+    ``compute_stream_time + exposed_comm_time == step_time_overlap`` on
+    the critical rank — the end-to-end consistency the benchmarks gate.
+    """
+    barrier = modeled_step_timeline(plan, config, tokens_per_tile,
+                                    in_channels, out_channels)
+    over = modeled_step_timeline(plan, config, tokens_per_tile,
+                                 in_channels, out_channels,
+                                 overlap=True, n_buckets=n_buckets)
+    step_barrier = max((s.end_s for s in barrier), default=0.0)
+    per_rank_end: dict[int, float] = {}
+    compute_end: dict[int, float] = {}
+    async_total: dict[int, float] = {}
+    for s in over:
+        per_rank_end[s.rank] = max(per_rank_end.get(s.rank, 0.0), s.end_s)
+        if s.stream == "comm":
+            async_total[s.rank] = async_total.get(s.rank, 0.0) + s.dur_s
+        else:
+            compute_end[s.rank] = max(compute_end.get(s.rank, 0.0), s.end_s)
+    step_overlap = max(per_rank_end.values(), default=0.0)
+    crit = max(per_rank_end, key=per_rank_end.get) if per_rank_end else 0
+    t_compute = compute_end.get(crit, 0.0)
+    exposed = max(0.0, step_overlap - t_compute)
+    total_async = async_total.get(crit, 0.0)
+    hidden = max(0.0, total_async - exposed)
+    return {
+        "step_time_barrier": step_barrier,
+        "step_time_overlap": step_overlap,
+        "compute_stream_time": t_compute,
+        "exposed_comm_time": exposed,
+        "overlapped_fraction": hidden / total_async if total_async else 0.0,
+        "speedup": step_barrier / step_overlap if step_overlap else 1.0,
+        "n_buckets": n_buckets,
+    }
 
 
 def sustained_flops(w: DownscalingWorkload, n_gpus: int,

@@ -53,9 +53,10 @@ from ..obs.tracer import active_tracer, span
 from ..nn.flat import FlatParamBuffer
 from ..nn.module import Parameter
 from ..tensor import Tensor
+from .bucketer import GradBucketer, aligned_ring_chunks
 from .comm import ProcessGroup, VirtualCluster
 from .ddp import DistributedDataParallel, flatten_grads, scatter_batch
-from .fsdp import FSDPEngine, unshard_arrays
+from .fsdp import FSDPEngine, shard_array, unshard_arrays
 from .hybrid_op import HybridOpChain
 from .orthogonal import ParallelLayout
 from .pipeline import PipelineParallel
@@ -80,7 +81,13 @@ __all__ = [
 
 def tile_core_loss(out: Tensor, spec: TileSpec, factor: int,
                    targets: np.ndarray, loss_fn) -> Tensor:
-    """Loss on a tile's core region (halo outputs cropped, Sec. III-B)."""
+    """Loss on a tile's core region (halo outputs cropped, Sec. III-B).
+
+    Losses carrying a truthy ``tile_aware`` attribute (e.g.
+    :class:`~repro.core.losses.LatitudeTileLoss`) receive the tile's
+    :class:`TileSpec` as a third argument so position-dependent terms can
+    slice their full-grid state to this tile's window.
+    """
     top, left = (spec.y0 - spec.hy0) * factor, (spec.x0 - spec.hx0) * factor
     ch, cw = spec.core_shape
     core = out[:, :, top: top + ch * factor, left: left + cw * factor]
@@ -88,6 +95,8 @@ def tile_core_loss(out: Tensor, spec: TileSpec, factor: int,
         targets[:, :, spec.y0 * factor: spec.y1 * factor,
                 spec.x0 * factor: spec.x1 * factor]
     )
+    if getattr(loss_fn, "tile_aware", False):
+        return loss_fn(core, tile_target, spec)
     return loss_fn(core, tile_target)
 
 
@@ -190,20 +199,26 @@ class ParallelStrategy:
     def comm_summary(self, reset: bool = False) -> dict:
         """``{"<level>_level_bytes": total, "calls": {...}}`` per level.
 
-        ``reset=True`` zeroes the accounting after the snapshot, so
-        callers measuring per-phase traffic stop hand-rolling the
-        snapshot/reset pair.
+        ``calls`` holds per-op call counts per level; ``async_launches``
+        counts the subset issued through the async API (bucketed
+        overlap).  ``reset=True`` zeroes the accounting after the
+        snapshot, so callers measuring per-phase traffic stop
+        hand-rolling the snapshot/reset pair.
         """
-        out: dict = {"calls": {}}
+        out: dict = {"calls": {}, "async_launches": {}}
         for level, groups in self.level_groups().items():
             out[f"{level}_level_bytes"] = float(
                 sum(g.stats.total_bytes() for g in groups)
             )
             calls: dict[str, int] = {}
+            launches: dict[str, int] = {}
             for g in groups:
                 for op, n in g.stats.calls.items():
                     calls[op] = calls.get(op, 0) + n
+                for op, n in g.stats.async_launches.items():
+                    launches[op] = launches.get(op, 0) + n
             out["calls"][level] = calls
+            out["async_launches"][level] = launches
         if reset:
             self.reset_comm()
         return out
@@ -234,13 +249,18 @@ class DDPStrategy(ParallelStrategy):
     name = "ddp"
     trainable = True
 
-    def __init__(self, loss_fn):
+    def __init__(self, loss_fn, overlap: bool = False,
+                 bucket_bytes: int = 1 << 16):
         self.loss_fn = loss_fn
+        self.overlap = overlap
+        self.bucket_bytes = bucket_bytes
 
     def setup(self, model_factory, group: ProcessGroup) -> None:
         self.group = group
         replicas = [model_factory(r) for r in range(group.size)]
-        self.engine = DistributedDataParallel(replicas, group, self.loss_fn)
+        self.engine = DistributedDataParallel(replicas, group, self.loss_fn,
+                                              overlap=self.overlap,
+                                              bucket_bytes=self.bucket_bytes)
 
     def forward(self, inputs) -> np.ndarray:
         shards = np.array_split(inputs, self.group.size)
@@ -342,13 +362,25 @@ class FSDPStrategy(ParallelStrategy):
     name = "fsdp"
     trainable = True
 
-    def __init__(self, loss_fn):
+    def __init__(self, loss_fn, overlap: bool = False,
+                 bucket_bytes: int = 1 << 16):
         self.loss_fn = loss_fn
+        self.overlap = overlap
+        self.bucket_bytes = bucket_bytes
         self._grad_shards: list[dict[str, np.ndarray]] | None = None
+        self._bucket_works: list = []
 
     def setup(self, model_factory, group: ProcessGroup) -> None:
         self.group = group
         self.model = model_factory(0)
+        self._flat = self._bucketer = None
+        if self.overlap:
+            # flat buffer first: the engine's shard store and gathers
+            # operate on the (now view-backed) parameter tensors in place
+            self._flat = FlatParamBuffer(list(self.model.parameters()))
+            self._bucketer = GradBucketer(self._flat, self.bucket_bytes)
+            self._param_name = {id(p): name
+                                for name, p in self.model.named_parameters()}
         self.engine = FSDPEngine(self.model, group)
 
     def forward(self, inputs) -> np.ndarray:
@@ -357,13 +389,58 @@ class FSDPStrategy(ParallelStrategy):
 
     def forward_backward(self, inputs, targets) -> list[float]:
         self.engine.gather_all()
-        self.model.zero_grad()
-        loss = self.loss_fn(self.model(Tensor(inputs)), Tensor(targets))
-        loss.backward()
+        if not self.overlap:
+            self.model.zero_grad()
+            loss = self.loss_fn(self.model(Tensor(inputs)), Tensor(targets))
+            loss.backward()
+            return [float(loss.data)]
+        self._flat.zero_grad()
+        self._bucket_works = []
+        self._bucketer.arm(self._launch_bucket)
+        try:
+            loss = self.loss_fn(self.model(Tensor(inputs)), Tensor(targets))
+            loss.backward()
+            self._bucketer.flush()
+        finally:
+            self._bucketer.disarm()
+        self._flat.sync_grads()
         return [float(loss.data)]
 
+    def _launch_bucket(self, bucket) -> None:
+        """Async reduce-scatter of one bucket's per-parameter shard stacks.
+
+        Packs exactly like :meth:`FSDPEngine.reduce_scatter_grads` but per
+        bucket; the reduction is elementwise, so any bucket partition is
+        bit-identical to the single whole-model collective.
+        """
+        world = self.group.size
+        spans_: list[tuple[str, int, int]] = []
+        stacks, offset = [], 0
+        for p in bucket.params:
+            g = p.grad if p.grad is not None else np.zeros_like(p.data)
+            stacked = np.stack(shard_array(g, world))
+            spans_.append((self._param_name[id(p)], offset,
+                           offset + stacked.shape[1]))
+            stacks.append(stacked)
+            offset += stacked.shape[1]
+        big = np.concatenate(stacks, axis=1)
+        work = self.group.reduce_scatter_async([big] * world, op="mean")
+        self._bucket_works.append((spans_, work))
+
     def reduce_gradients(self) -> None:
-        self._grad_shards = self.engine.reduce_scatter_grads()
+        if self.overlap:
+            grad_shards: list[dict[str, np.ndarray]] = [
+                dict() for _ in range(self.group.size)]
+            with span("reduce/overlap_wait", cat="reduce"):
+                for spans_, work in self._bucket_works:
+                    for rank, row in enumerate(work.wait()):
+                        flat = row.reshape(-1)
+                        for name, lo, hi in spans_:
+                            grad_shards[rank][name] = flat[lo:hi].copy()
+            self._bucket_works = []
+            self._grad_shards = grad_shards
+        else:
+            self._grad_shards = self.engine.reduce_scatter_grads()
         # write the reduced gradients back into the live model: the mean
         # of identical contributions is exact, so this is numerically the
         # reduction itself, and it keeps the unit-gradient interface
@@ -638,11 +715,14 @@ class CompositeStrategy(ParallelStrategy):
     trainable = True
 
     def __init__(self, plan: CompositePlan, loss_fn,
-                 halo: int = 2, factor: int = 2):
+                 halo: int = 2, factor: int = 2, overlap: bool = False,
+                 bucket_bytes: int = 1 << 16):
         self.plan = plan
         self.loss_fn = loss_fn
         self.halo = halo
         self.factor = factor
+        self.overlap = overlap
+        self.bucket_bytes = bucket_bytes
         self.steps = 0
 
     # ------------------------------------------------------------------ #
@@ -656,6 +736,13 @@ class CompositeStrategy(ParallelStrategy):
             unit.load_state_dict(state)
         self._buffers = [FlatParamBuffer(list(u.parameters()))
                          for u in self._units]
+        self._bucketers = ([GradBucketer(buf, self.bucket_bytes)
+                            for buf in self._buffers]
+                           if self.overlap else [])
+        self._ph1_works: list = []
+        self._ph2_works: dict = {}
+        self._fired: dict = {}
+        self._work_grads: dict = {}
         # one ProcessGroup object per rank set, built once so CommStats
         # accumulate across steps
         self._tp_groups = {
@@ -716,25 +803,112 @@ class CompositeStrategy(ParallelStrategy):
                 f"batch {inputs.shape[0]} != data-parallel ways {plan.ddp}")
         h, w = inputs.shape[-2:]
         specs = make_tiles(h, w, plan.tiles, self.halo) if plan.tiles > 1 else None
+        if self.overlap:
+            self._begin_overlap_step()
         losses = []
         for d in range(plan.ddp):
             x = Tensor(inputs[d: d + 1])
             for t in range(plan.tiles):
                 unit, buf = self._unit(d, t), self._buffer(d, t)
                 buf.zero_grad()
-                if specs is None:
-                    out = unit(x)
-                    loss = loss_fn(out, Tensor(targets[d: d + 1]))
-                else:
-                    spec = specs[t]
-                    out = unit(extract_tile(x, spec))
-                    loss = tile_core_loss(out, spec, self.factor,
-                                          targets[d: d + 1], loss_fn)
-                loss.backward()
+                bucketer = None
+                if self.overlap:
+                    bucketer = self._bucketers[d * plan.tiles + t]
+                    bucketer.arm(lambda bucket, d=d, t=t:
+                                 self._on_bucket_ready(d, t, bucket))
+                try:
+                    if specs is None:
+                        out = unit(x)
+                        loss = loss_fn(out, Tensor(targets[d: d + 1]))
+                    else:
+                        spec = specs[t]
+                        out = unit(extract_tile(x, spec))
+                        loss = tile_core_loss(out, spec, self.factor,
+                                              targets[d: d + 1], loss_fn)
+                    loss.backward()
+                    if bucketer is not None:
+                        bucketer.flush()
+                finally:
+                    if bucketer is not None:
+                        bucketer.disarm()
                 buf.sync_grads()
                 self._record_tp_traffic(unit, out.data.nbytes, d, t)
                 losses.append(float(loss.data))
         return losses
+
+    # ------------------------------------------------------------------ #
+    # backward-driven overlapped reduction (phases 1-2 under backward)
+    # ------------------------------------------------------------------ #
+    def _begin_overlap_step(self) -> None:
+        plan = self.plan
+        F = plan.fsdp
+        lpad = self._buffers[0].padded_size(F)
+        self._shard_len = lpad // F
+        self._work_grads = {
+            (d, t): np.zeros(lpad, dtype=np.float32)
+            for d in range(plan.ddp) for t in range(plan.tiles)
+        }
+        self._ph1_works = []
+        self._ph2_works = {}
+        self._fired = {}
+
+    def _on_bucket_ready(self, d: int, t: int, bucket) -> None:
+        """Phase 1 of one bucket, launched from unit (d, t)'s tape walk.
+
+        Every FSDP rank contributes the identical unit gradient, and the
+        float64 mean of identical float32 values is exact, so the
+        reduce-scatter's output *is* its input — the collective runs for
+        real traffic and comm-stream time, while the values ride in the
+        unit's working padded-gradient vector.  The tail bucket (index 0)
+        also owns the zero padding up to ``padded_size(F)``.
+        """
+        plan = self.plan
+        P, F, T = plan.tp, plan.fsdp, plan.tiles
+        buf = self._buffer(d, t)
+        wg = self._work_grads[(d, t)]
+        lo = bucket.lo
+        hi = wg.size if bucket.hi == buf.size else bucket.hi
+        wg[lo:bucket.hi] = buf.grad[lo:bucket.hi]
+        seg = wg[lo:hi]
+        m = -(-seg.size // F) * F
+        seg_p = np.zeros(m, dtype=np.float32)
+        seg_p[:seg.size] = seg
+        contributions = [seg_p.reshape(F, -1)] * F
+        for p in range(P):
+            w1 = self._fsdp_groups[(d, t, p)].reduce_scatter_async(
+                contributions, op="mean")
+        self._ph1_works.append(w1)
+        # phase 2 is reducible once every tile of sample d finished this
+        # bucket; the tracer's per-rank comm frontier carries the
+        # phase-1 -> phase-2 dependency (each TILES member rank sits in
+        # one of the bucket's FSDP groups)
+        key = (d, bucket.index)
+        self._fired[key] = self._fired.get(key, 0) + 1
+        if self._fired[key] == T:
+            self._launch_tiles(d, lo, hi, bucket.index)
+
+    def _launch_tiles(self, d: int, lo: int, hi: int, b_idx: int) -> None:
+        """Phase 2 of one bucket: TILES all-reduce of the shard sub-ranges.
+
+        The bucket's padded range intersects each FSDP shard ``f`` in a
+        sub-range; reducing that slice with the globally aligned ring
+        chunk partition is bit-identical to the eager whole-shard call.
+        """
+        plan = self.plan
+        P, F, T = plan.tp, plan.fsdp, plan.tiles
+        ln = self._shard_len
+        entries = []
+        for f in range(F):
+            s, e = max(lo, f * ln), min(hi, (f + 1) * ln)
+            if e <= s:
+                continue
+            bufs = [self._work_grads[(d, t)][s:e] for t in range(T)]
+            chunks = aligned_ring_chunks(s - f * ln, e - f * ln, ln, T)
+            for p in range(P):
+                work = self._tiles_groups[(d, f, p)].all_reduce_async(
+                    bufs, op="mean", chunks=chunks)
+            entries.append((f, s, e, work))
+        self._ph2_works[(d, b_idx)] = entries
 
     def _record_tp_traffic(self, unit: Module, act_nbytes: int,
                            d: int, t: int) -> None:
@@ -769,30 +943,54 @@ class CompositeStrategy(ParallelStrategy):
     def reduce_gradients(self) -> None:
         plan = self.plan
         P, F, T, D = plan.tp, plan.fsdp, plan.tiles, plan.ddp
-        # phase 1 — FSDP reduce-scatter: every rank of a unit contributes
-        # the (identical) unit gradient and keeps its own shard.  The
-        # float64 accumulation of identical contributions is exact.
         shards: dict[tuple[int, int], list[np.ndarray]] = {}
-        with span("reduce/fsdp_reduce_scatter", cat="reduce"):
-            for d in range(D):
-                for t in range(T):
-                    padded = self._buffer(d, t).padded_grad(F).reshape(F, -1)
-                    contributions = [padded] * F
-                    for p in range(P):
-                        result = self._fsdp_groups[(d, t, p)].reduce_scatter(
-                            contributions, op="mean")
-                    shards[(d, t)] = [r.reshape(-1) for r in result]
-        # phase 2 — TILES all-reduce: average each shard across the tiles
-        # of one sample (the once-per-batch collective of Sec. III-B)
-        with span("reduce/tiles_all_reduce", cat="reduce"):
-            for d in range(D):
-                for f in range(F):
-                    bufs = [shards[(d, t)][f] for t in range(T)]
-                    for p in range(P):
-                        result = self._tiles_groups[(d, f, p)].all_reduce(
-                            bufs, op="mean")
+        if self.overlap:
+            # phases 1-2 already launched bucket-by-bucket during
+            # backward; drain the works and assemble the per-unit shard
+            # vectors from the bucket results (each shard element is
+            # covered by exactly one bucket)
+            ln = self._shard_len
+            with span("reduce/overlap_wait", cat="reduce"):
+                for w in self._ph1_works:
+                    w.wait()
+                for d in range(D):
                     for t in range(T):
-                        shards[(d, t)][f] = result[t]
+                        wg = self._work_grads[(d, t)]
+                        shards[(d, t)] = [wg[f * ln:(f + 1) * ln].copy()
+                                          for f in range(F)]
+                for (d, _b), entries in sorted(self._ph2_works.items()):
+                    for f, s, e, work in entries:
+                        results = work.wait()
+                        for t in range(T):
+                            shards[(d, t)][f][s - f * ln:e - f * ln] = results[t]
+            self._ph1_works, self._ph2_works, self._fired = [], {}, {}
+            self._work_grads = {}
+        else:
+            # phase 1 — FSDP reduce-scatter: every rank of a unit
+            # contributes the (identical) unit gradient and keeps its own
+            # shard.  The float64 accumulation of identical contributions
+            # is exact.
+            with span("reduce/fsdp_reduce_scatter", cat="reduce"):
+                for d in range(D):
+                    for t in range(T):
+                        padded = self._buffer(d, t).padded_grad(F).reshape(F, -1)
+                        contributions = [padded] * F
+                        for p in range(P):
+                            result = self._fsdp_groups[(d, t, p)].reduce_scatter(
+                                contributions, op="mean")
+                        shards[(d, t)] = [r.reshape(-1) for r in result]
+            # phase 2 — TILES all-reduce: average each shard across the
+            # tiles of one sample (the once-per-batch collective of
+            # Sec. III-B)
+            with span("reduce/tiles_all_reduce", cat="reduce"):
+                for d in range(D):
+                    for f in range(F):
+                        bufs = [shards[(d, t)][f] for t in range(T)]
+                        for p in range(P):
+                            result = self._tiles_groups[(d, f, p)].all_reduce(
+                                bufs, op="mean")
+                        for t in range(T):
+                            shards[(d, t)][f] = result[t]
         # phase 3 — DDP all-reduce: average across samples
         with span("reduce/ddp_all_reduce", cat="reduce"):
             for t in range(T):

@@ -20,7 +20,22 @@ __all__ = ["chrome_trace", "write_chrome_trace", "span_coverage",
 
 
 def chrome_trace(spans: Iterable[Span]) -> dict:
-    """Spans -> Chrome ``trace_event`` document (JSON-ready dict)."""
+    """Spans -> Chrome ``trace_event`` document (JSON-ready dict).
+
+    Single-stream traces map one rank to one ``tid``.  When any span
+    carries a non-default ``stream`` (async collectives on the comm
+    stream), each rank gets **two** tracks — ``tid = 2·rank`` for
+    compute and ``2·rank + 1`` for comm — so overlap is visible as
+    parallel bars in Perfetto.
+    """
+    spans = list(spans)
+    two_stream = any(getattr(sp, "stream", "main") != "main" for sp in spans)
+
+    def tid(sp: Span) -> int:
+        if not two_stream:
+            return sp.rank
+        return 2 * sp.rank + (1 if getattr(sp, "stream", "main") == "comm" else 0)
+
     events: list[dict] = []
     ranks: set[int] = set()
     for sp in spans:
@@ -30,15 +45,22 @@ def chrome_trace(spans: Iterable[Span]) -> dict:
             "name": sp.name,
             "cat": sp.cat,
             "pid": 0,
-            "tid": sp.rank,
+            "tid": tid(sp),
             "ts": sp.start_s * 1e6,
             "dur": sp.dur_s * 1e6,
             "args": sp.args,
         })
     meta = [{"ph": "M", "name": "process_name", "pid": 0,
              "args": {"name": "repro (virtual cluster)"}}]
-    meta += [{"ph": "M", "name": "thread_name", "pid": 0, "tid": r,
-              "args": {"name": f"rank {r}"}} for r in sorted(ranks)]
+    if two_stream:
+        for r in sorted(ranks):
+            meta.append({"ph": "M", "name": "thread_name", "pid": 0,
+                         "tid": 2 * r, "args": {"name": f"rank {r} compute"}})
+            meta.append({"ph": "M", "name": "thread_name", "pid": 0,
+                         "tid": 2 * r + 1, "args": {"name": f"rank {r} comm"}})
+    else:
+        meta += [{"ph": "M", "name": "thread_name", "pid": 0, "tid": r,
+                  "args": {"name": f"rank {r}"}} for r in sorted(ranks)]
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 

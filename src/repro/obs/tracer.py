@@ -64,6 +64,11 @@ class Span:
     ``depth`` is the nesting level at open time; Chrome/Perfetto infer
     the tree from (rank, start, dur), ``depth`` lets exporters and the
     coverage check do the same without re-deriving containment.
+
+    ``stream`` selects the per-rank track: ``"main"`` (compute, the
+    default) or ``"comm"`` for collectives launched asynchronously —
+    the exporter renders a second Perfetto track per rank whenever any
+    span left the main stream.
     """
 
     name: str
@@ -73,6 +78,7 @@ class Span:
     dur_s: float = 0.0
     depth: int = 0
     args: dict = field(default_factory=dict)
+    stream: str = "main"
 
     @property
     def end_s(self) -> float:
@@ -105,6 +111,10 @@ class Tracer:
         # per-step activation accounting, fed by the engine op hook
         self._step_tape_bytes = 0.0
         self._tape_bytes_hwm = 0.0
+        # per-rank comm-stream frontier: collectives on one rank's comm
+        # stream execute serially, so an async launch starts no earlier
+        # than the rank's previous collective finished
+        self._comm_front: dict[int, float] = {}
 
     # ------------------------------------------------------------------ #
     # installation
@@ -174,6 +184,59 @@ class Tracer:
         self.metrics.inc(f"comm/{op}/calls", calls)
         self.metrics.inc(f"comm/{op}/bytes", nbytes * calls)
         self.metrics.inc("comm/modeled_time_s", total_s)
+
+    def collective_async(self, op: str, ranks: Iterable[int], nbytes: float,
+                         modeled_s: float, sent_bytes: float | None = None,
+                         calls: int = 1) -> dict:
+        """Schedule one collective on the members' comm streams.
+
+        Unlike :meth:`collective`, member *compute* clocks do not move:
+        the span starts at the latest member's position — the max over
+        members of max(compute now, comm-stream frontier) — and runs on
+        the ``"comm"`` stream.  The returned handle is consumed by
+        :meth:`complete_async` (via ``Work.wait()``), which charges each
+        member only the exposed residual and splits the modeled time
+        into ``comm/overlapped_time_s`` vs ``comm/exposed_time_s``.
+        """
+        ranks = list(ranks)
+        total_s = modeled_s * calls
+        start = max(max(self.clock.now(r) for r in ranks),
+                    max((self._comm_front.get(r, 0.0) for r in ranks),
+                        default=0.0))
+        end = start + total_s
+        args = {"op": op, "bytes": float(nbytes), "group_size": len(ranks),
+                "modeled": True, "calls": calls, "async": True}
+        if sent_bytes is not None:
+            args["sent_bytes_per_rank"] = float(sent_bytes)
+        for r in ranks:
+            self._comm_front[r] = end
+            self.spans.append(Span(
+                name=f"comm/{op}", cat="comm", rank=r, start_s=start,
+                dur_s=total_s, depth=len(self._stacks.get(r, ())),
+                args=args, stream="comm",
+            ))
+        self.metrics.inc(f"comm/{op}/calls", calls)
+        self.metrics.inc(f"comm/{op}/bytes", nbytes * calls)
+        self.metrics.inc("comm/modeled_time_s", total_s)
+        return {"op": op, "ranks": ranks, "end_s": end, "total_s": total_s}
+
+    def complete_async(self, handle: dict) -> None:
+        """Wait-side accounting for an async collective.
+
+        Each member's compute clock advances by the part of the
+        collective still in flight when the rank reached the wait — the
+        *exposed* time.  Whatever backward compute already covered is
+        the *overlapped* share.
+        """
+        exposed = 0.0
+        for r in handle["ranks"]:
+            residual = handle["end_s"] - self.clock.now(r)
+            if residual > 0.0:
+                self.clock.advance(r, residual)
+                exposed = max(exposed, residual)
+        total = handle["total_s"]
+        self.metrics.inc("comm/exposed_time_s", exposed)
+        self.metrics.inc("comm/overlapped_time_s", max(0.0, total - exposed))
 
     # ------------------------------------------------------------------ #
     # engine-op and step accounting

@@ -142,7 +142,8 @@ class Tensor:
         If True this tensor is a graph leaf whose gradient is retained.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "_op")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward",
+                 "_op", "_ready_hook")
     __array_priority__ = 100.0  # make NumPy defer to our __r*__ operators
 
     def __init__(self, data, requires_grad: bool = False):
@@ -152,6 +153,7 @@ class Tensor:
         self._parents: tuple[Tensor, ...] = ()
         self._backward: Callable[[np.ndarray], None] | None = None
         self._op = "leaf"
+        self._ready_hook: Callable[["Tensor"], None] | None = None
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -304,6 +306,11 @@ class Tensor:
                 continue
             if node._backward is None:
                 node._accumulate(g, owned=g_owned)
+                if node._ready_hook is not None:
+                    # a leaf's grad is final exactly once per walk (reverse
+                    # topological order runs it after every consumer), so
+                    # this is the bucketed-reduction launch point
+                    node._ready_hook(node)
                 continue
             for parent, pg in node._backward(g):
                 if not parent.requires_grad or pg is None:

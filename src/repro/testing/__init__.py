@@ -18,12 +18,15 @@ oracle provides and how to wire one into a new test.
 """
 
 from .conformance import (
+    ASYNC_COLLECTIVES,
     COLLECTIVES,
     CollectiveResult,
     ConformanceFailure,
     ConformanceReport,
+    check_async_collective,
     check_collective,
     expected_sent_bytes,
+    run_async_conformance,
     run_conformance,
 )
 from .equivalence import (
@@ -76,12 +79,15 @@ __all__ = [
     "fuzz_ops",
     "seeded_arrays",
     # conformance
+    "ASYNC_COLLECTIVES",
     "COLLECTIVES",
     "CollectiveResult",
     "ConformanceFailure",
     "ConformanceReport",
+    "check_async_collective",
     "check_collective",
     "expected_sent_bytes",
+    "run_async_conformance",
     "run_conformance",
     # golden
     "GoldenMismatch",

@@ -28,12 +28,15 @@ from ..distributed import ProcessGroup
 
 __all__ = [
     "COLLECTIVES",
+    "ASYNC_COLLECTIVES",
     "CollectiveResult",
     "ConformanceReport",
     "ConformanceFailure",
     "expected_sent_bytes",
     "check_collective",
+    "check_async_collective",
     "run_conformance",
+    "run_async_conformance",
 ]
 
 #: Every collective the communicator implements.
@@ -44,6 +47,11 @@ COLLECTIVES: tuple[str, ...] = (
 #: World sizes for the default sweep — primes 3/5/7 exercise the
 #: non-power-of-two ring paths.
 DEFAULT_WORLDS: tuple[int, ...] = (1, 2, 3, 4, 5, 7, 8)
+
+#: Collectives with an async (``Work``-handle) variant.
+ASYNC_COLLECTIVES: tuple[str, ...] = (
+    "all_reduce", "reduce_scatter", "all_gather",
+)
 
 #: float32 ring reductions reorder additions; everything else is a copy.
 _VALUE_TOLERANCES: dict[str, tuple[float, float]] = {
@@ -200,6 +208,95 @@ def check_collective(op: str, world: int, shape: Sequence[int],
             f"{ctx}: expected exactly one recorded {op} call, "
             f"got {group.stats.calls.get(op, 0)}")
     return CollectiveResult(op, world, shape, max_err, recorded, expected)
+
+
+def _invoke_async(group: ProcessGroup, op: str, buffers: list[np.ndarray]):
+    if op == "all_reduce":
+        return group.all_reduce_async(buffers, op="mean")
+    if op == "reduce_scatter":
+        return group.reduce_scatter_async(buffers, op="sum")
+    if op == "all_gather":
+        return group.all_gather_async(buffers)
+    raise ValueError(f"collective {op!r} has no async variant; "
+                     f"known: {sorted(ASYNC_COLLECTIVES)}")
+
+
+def check_async_collective(op: str, world: int, shape: Sequence[int],
+                           seed: int = 0) -> CollectiveResult:
+    """Validate one async collective against its sync twin.
+
+    The contract is strict bit-identity, not a tolerance: the async
+    launch runs the *same* reduction math as the sync path, so
+    ``wait()``'s results must equal the sync outputs array-for-array,
+    the recorded ``sent_bytes_per_rank`` must match byte for byte, and
+    the launch must be counted in both ``calls`` and
+    ``async_launches``.  Raises :class:`ConformanceFailure` otherwise.
+    """
+    if op not in ASYNC_COLLECTIVES:
+        raise ValueError(f"collective {op!r} has no async variant; "
+                         f"known: {sorted(ASYNC_COLLECTIVES)}")
+    rng = np.random.default_rng(seed)
+    shape = tuple(int(s) for s in shape)
+    buffers = [rng.standard_normal(shape).astype(np.float32) for _ in range(world)]
+    ctx = f"{op}_async@world={world} shape={shape}"
+
+    sync_group = ProcessGroup(list(range(world)))
+    sync_outs = _invoke(sync_group, op, [b.copy() for b in buffers])
+    async_group = ProcessGroup(list(range(world)))
+    work = _invoke_async(async_group, op, [b.copy() for b in buffers])
+    async_outs = work.wait()
+    again = work.wait()  # wait() must be idempotent
+
+    if len(async_outs) != len(sync_outs):
+        raise ConformanceFailure(
+            f"{ctx}: {len(async_outs)} async outputs vs {len(sync_outs)} sync")
+    for rank, (got, ref, rep) in enumerate(zip(async_outs, sync_outs, again)):
+        if not np.array_equal(got, ref):
+            raise ConformanceFailure(
+                f"{ctx}: rank {rank} async result is not bit-identical to sync")
+        if rep is not got:
+            raise ConformanceFailure(
+                f"{ctx}: rank {rank} second wait() returned different objects")
+    recorded = async_group.stats.bytes_per_rank.get(op, 0.0)
+    expected = sync_group.stats.bytes_per_rank.get(op, 0.0)
+    if recorded != expected:
+        raise ConformanceFailure(
+            f"{ctx}: async sent_bytes_per_rank {recorded} != sync {expected}")
+    if async_group.stats.calls.get(op, 0) != 1:
+        raise ConformanceFailure(
+            f"{ctx}: expected exactly one recorded {op} call, "
+            f"got {async_group.stats.calls.get(op, 0)}")
+    if async_group.stats.async_launches.get(op, 0) != 1:
+        raise ConformanceFailure(
+            f"{ctx}: expected exactly one async launch, "
+            f"got {async_group.stats.async_launches.get(op, 0)}")
+    max_err = max((float(np.abs(g.astype(np.float64) - r.astype(np.float64)).max())
+                   for g, r in zip(async_outs, sync_outs) if g.size), default=0.0)
+    return CollectiveResult(op, world, shape, max_err, recorded,
+                            expected_sent_bytes(op, world, buffers[0].nbytes))
+
+
+def run_async_conformance(worlds: Sequence[int] = DEFAULT_WORLDS,
+                          ops: Sequence[str] = ASYNC_COLLECTIVES,
+                          seed: int = 0) -> ConformanceReport:
+    """Sweep async == sync bit-identity over every (op, world, shape).
+
+    The default worlds include the odd sizes (3, 5, 7) where ring-chunk
+    arithmetic is raggedest.  Raises :class:`ConformanceFailure` at the
+    first disagreeing combination.
+    """
+    unknown = set(ops) - set(ASYNC_COLLECTIVES)
+    if unknown:
+        raise ValueError(f"collectives with no async variant: {sorted(unknown)}")
+    rng = np.random.default_rng(seed)
+    report = ConformanceReport()
+    for op in ops:
+        for world in worlds:
+            for shape in _sweep_shapes(op, world, rng):
+                report.results.append(
+                    check_async_collective(op, world, shape,
+                                           seed=seed + 7919 * len(report.results)))
+    return report
 
 
 def run_conformance(worlds: Sequence[int] = DEFAULT_WORLDS,

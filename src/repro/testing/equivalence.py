@@ -68,9 +68,13 @@ __all__ = [
     "oracle_config",
 ]
 
-#: Every strategy the oracle knows how to drive.
+#: Every strategy the oracle knows how to drive.  The ``*_overlap``
+#: variants run the same engines with backward-driven bucketed async
+#: reduction — the oracle is the proof they are numerically the same
+#: schedule.
 PARALLELISMS: tuple[str, ...] = (
     "ddp", "fsdp", "tp", "ulysses", "hybrid_op", "tiles", "pipeline", "composite",
+    "ddp_overlap", "fsdp_overlap", "composite_overlap",
 )
 
 #: (rtol, atol) per strategy — float32 ring-reduction rounding for most;
@@ -84,6 +88,9 @@ _TOLERANCES: dict[str, tuple[float, float]] = {
     "tiles": (1e-4, 1e-5),
     "pipeline": (1e-4, 1e-5),
     "composite": (1e-4, 1e-5),
+    "ddp_overlap": (1e-4, 1e-5),
+    "fsdp_overlap": (1e-4, 1e-5),
+    "composite_overlap": (1e-4, 1e-5),
 }
 
 #: world → (tp, fsdp, tiles, ddp) for the composite oracle runs.  Chosen
@@ -216,22 +223,30 @@ def _diverse_factory(config: ModelConfig, seed: int):
     return lambda r: _make_model(config, seed if r == 0 else seed + 100 + r)
 
 
-def _build_ddp(world, config, seed, rng):
+def _build_ddp(world, config, seed, rng, overlap=False):
     batch = int(np.lcm(8, world))
     x = rng.standard_normal((batch, 2, 8, 8)).astype(np.float32)
     y = rng.standard_normal((batch, 1, 16, 16)).astype(np.float32)
-    strat = DDPStrategy(_mse)
+    strat = DDPStrategy(_mse, overlap=overlap, bucket_bytes=1 << 12)
     strat.setup(_diverse_factory(config, seed), VirtualCluster(world).world_group())
     return strat, (x, y)
 
 
-def _build_fsdp(world, config, seed, rng):
+def _build_ddp_overlap(world, config, seed, rng):
+    return _build_ddp(world, config, seed, rng, overlap=True)
+
+
+def _build_fsdp(world, config, seed, rng, overlap=False):
     x = rng.standard_normal((4, 2, 8, 8)).astype(np.float32)
     y = rng.standard_normal((4, 1, 16, 16)).astype(np.float32)
-    strat = FSDPStrategy(_mse)
+    strat = FSDPStrategy(_mse, overlap=overlap, bucket_bytes=1 << 12)
     strat.setup(lambda r: _make_model(config, seed),
                 VirtualCluster(world).world_group())
     return strat, (x, y)
+
+
+def _build_fsdp_overlap(world, config, seed, rng):
+    return _build_fsdp(world, config, seed, rng, overlap=True)
 
 
 def _build_tiles(world, config, seed, rng):
@@ -242,15 +257,20 @@ def _build_tiles(world, config, seed, rng):
     return strat, (x, y)
 
 
-def _build_composite(world, config, seed, rng):
+def _build_composite(world, config, seed, rng, overlap=False):
     tp, fsdp, tiles, ddp = _COMPOSITE_FACTORS.get(world, (1, 1, 1, world))
     plan = CompositePlan(VirtualCluster(world), tp=tp, fsdp=fsdp,
                          tiles=tiles, ddp=ddp)
     x = rng.standard_normal((ddp, 2, 16, 16)).astype(np.float32)
     y = rng.standard_normal((ddp, 1, 32, 32)).astype(np.float32)
-    strat = CompositeStrategy(plan, _mse, halo=2, factor=2)
+    strat = CompositeStrategy(plan, _mse, halo=2, factor=2,
+                              overlap=overlap, bucket_bytes=1 << 12)
     strat.setup(_diverse_factory(config, seed))
     return strat, (x, y)
+
+
+def _build_composite_overlap(world, config, seed, rng):
+    return _build_composite(world, config, seed, rng, overlap=True)
 
 
 def _build_tp(world, config, seed, rng):
@@ -321,6 +341,18 @@ _SPECS: dict[str, OracleSpec] = {
         _build_composite,
         "TP×FSDP×TILES×DDP composed; reference is the per-(sample, tile) "
         "float64 gradient mean"),
+    "ddp_overlap": OracleSpec(
+        _build_ddp_overlap,
+        "bucketed async all-reduce with globally aligned ring chunks — "
+        "bit-identical to the eager whole-buffer reduction"),
+    "fsdp_overlap": OracleSpec(
+        _build_fsdp_overlap,
+        "per-bucket async reduce-scatter; elementwise float64 reduction "
+        "makes any bucket partition exact"),
+    "composite_overlap": OracleSpec(
+        _build_composite_overlap,
+        "phases 1-2 launched bucket-by-bucket under backward; aligned "
+        "sub-range all-reduces keep the eager schedule's float32 rounding"),
 }
 
 

@@ -7,10 +7,13 @@ import pytest
 
 from repro.distributed import ProcessGroup
 from repro.testing import (
+    ASYNC_COLLECTIVES,
     COLLECTIVES,
     ConformanceFailure,
+    check_async_collective,
     check_collective,
     expected_sent_bytes,
+    run_async_conformance,
     run_conformance,
 )
 
@@ -124,3 +127,48 @@ class TestFullSweep:
         monkeypatch.setattr(ProcessGroup, "all_reduce", corrupt)
         with pytest.raises(ConformanceFailure, match="value mismatch"):
             check_collective("all_reduce", 3, (5,))
+
+
+class TestAsyncConformance:
+    """Async collectives: bit-identity with the sync twin, equal traffic."""
+
+    @pytest.mark.parametrize("op", ASYNC_COLLECTIVES)
+    @pytest.mark.parametrize("world", ALL_WORLDS)
+    def test_async_equals_sync(self, op, world):
+        if op == "reduce_scatter":
+            shape = (world * 3, 5)
+        else:
+            shape = (37,)
+        result = check_async_collective(op, world, shape, seed=world)
+        assert result.max_abs_err == 0.0  # bit-identical, not tolerance
+
+    @pytest.mark.parametrize("world", ODD_WORLDS)
+    def test_odd_worlds_with_ragged_shapes(self, world):
+        for shape in RAGGED_SHAPES:
+            check_async_collective("all_reduce", world, shape, seed=17)
+            check_async_collective("all_gather", world, shape, seed=17)
+
+    def test_full_async_sweep_passes(self):
+        report = run_async_conformance()
+        assert report.checks == len(ASYNC_COLLECTIVES) * len(ALL_WORLDS) * 4
+        assert max((r.max_abs_err for r in report.results), default=1.0) == 0.0
+
+    def test_detects_diverging_async_values(self, monkeypatch):
+        from repro.distributed.comm import Work
+
+        orig = Work.wait
+
+        def corrupt(self):
+            out = orig(self)
+            out[0][...] += 1.0
+            return out
+
+        monkeypatch.setattr(Work, "wait", corrupt)
+        with pytest.raises(ConformanceFailure, match="not bit-identical"):
+            check_async_collective("all_reduce", 3, (5,))
+
+    def test_sync_only_collectives_rejected(self):
+        with pytest.raises(ValueError, match="no async variant"):
+            check_async_collective("broadcast", 2, (4,))
+        with pytest.raises(ValueError, match="no async variant"):
+            run_async_conformance(ops=("all_to_all",))
