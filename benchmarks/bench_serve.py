@@ -1,0 +1,230 @@
+"""Serving benchmark: the three traffic scenarios through repro.serve.
+
+Two halves:
+
+* **modeled** — ``serve_report`` prices replica counts for the 1B model
+  against a p99 latency SLO on burst traffic, then every scenario
+  (steady / diurnal / burst) is run latency-only at the recommended
+  replica count, recording p50/p99 latency, throughput, queue depth,
+  cache hit-rate, and utilization.  CI gates that burst meets the SLO at
+  the recommendation and that the cache sees non-trivial traffic
+  (hits *and* evictions — the input population is larger than the
+  cache).
+* **measured** (skipped with ``--quick``) — a tiny Reslim is served for
+  real through batching + cache + 2 replicas and every response is
+  checked bit-identical to a direct ``predict_dataset`` pass: the
+  serving determinism contract as a benchmark gate.
+
+Headline numbers land in repo-root ``BENCH_serve.json`` (own file, as
+the ISSUE requires).  Everything is a deterministic discrete-event
+simulation on a frozen clock — reruns reproduce the numbers exactly.
+
+Run directly (``python benchmarks/bench_serve.py [--quick]``) to print
+the report and exit non-zero if a gate fails, or via pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, PAPER_CONFIGS, Reslim
+from repro.data import DatasetSpec, DownscalingDataset, Grid
+from repro.distributed import serve_report
+from repro.serve import (
+    SCENARIOS,
+    BatchPolicy,
+    DownscalingService,
+    TileCache,
+    TrafficGenerator,
+)
+from repro.train import predict_dataset
+
+from benchmarks.common import write_table
+
+BENCH_SERVE_PATH = Path(__file__).parent.parent / "BENCH_serve.json"
+
+#: the serving configuration under test: 1B model, 8-GPU replicas,
+#: burst traffic sized against a 500 ms p99 SLO
+MODEL = "1B"
+RATE_RPS = 40.0
+DURATION_S = 20.0
+SLO_P99_S = 0.5
+GPUS_PER_REPLICA = 8
+POLICY = BatchPolicy(max_batch=8, max_wait_s=0.05)
+#: more distinct inputs than cache entries, so the bench exercises
+#: eviction, not just a warm cache
+N_INPUTS = 24
+CACHE_CAPACITY = 8
+SEED = 0
+
+
+def replica_pricing() -> dict:
+    """The serve_report sizing pass: smallest replica count whose burst
+    p99 meets the SLO."""
+    return serve_report(PAPER_CONFIGS[MODEL], scenario="burst",
+                        rate_rps=RATE_RPS, duration_s=DURATION_S,
+                        slo_p99_s=SLO_P99_S, max_replicas=8,
+                        gpus_per_replica=GPUS_PER_REPLICA,
+                        max_batch=POLICY.max_batch,
+                        max_wait_s=POLICY.max_wait_s, seed=SEED)
+
+
+def scenario_sweep(n_replicas: int) -> dict:
+    """Latency-only run of every scenario at ``n_replicas`` replicas."""
+    out = {}
+    for scenario in SCENARIOS:
+        gen = TrafficGenerator(scenario, RATE_RPS, DURATION_S, seed=SEED,
+                               n_inputs=N_INPUTS, popularity=1.2)
+        service = DownscalingService(
+            n_replicas=n_replicas, gpus_per_replica=GPUS_PER_REPLICA,
+            policy=POLICY, cache=TileCache(CACHE_CAPACITY),
+            config=PAPER_CONFIGS[MODEL])
+        summary = service.run(gen.generate()).summary()
+        out[scenario] = {k: summary[k] for k in (
+            "requests", "duration_s", "throughput_rps", "latency_p50_s",
+            "latency_p99_s", "queue_wait_p99_s", "queue_depth_max",
+            "batches", "batch_size_mean", "cache_hit_rate",
+            "cache_evictions", "utilization_mean")}
+    return out
+
+
+def measured_equivalence() -> dict:
+    """Serve a real tiny model and check every response bit-identical to
+    ``predict_dataset`` — the determinism contract, end to end."""
+    spec = DatasetSpec(name="bench-serve", fine_grid=Grid(16, 32), factor=4,
+                       years=(2000, 2001), samples_per_year=2, seed=3,
+                       output_channels=(17, 18, 19))
+    ds = DownscalingDataset(spec, years=(2000, 2001))
+    ds.fit_normalizer()
+    model = Reslim(ModelConfig("tiny", embed_dim=16, depth=1, num_heads=2),
+                   23, 3, factor=4, max_tokens=64,
+                   rng=np.random.default_rng(0))
+    inputs = np.concatenate([b.inputs for b in ds.batches(1)])
+    reference, _ = predict_dataset(model, ds)
+    gen = TrafficGenerator("burst", 60.0, 1.5, seed=SEED,
+                           n_inputs=len(inputs), popularity=1.2)
+    requests = gen.generate(inputs=[inputs[i] for i in range(len(inputs))])
+    service = DownscalingService(
+        model, n_replicas=2, policy=BatchPolicy(max_batch=4, max_wait_s=0.02),
+        cache=TileCache(8), target_normalizer=ds.target_normalizer)
+    result = service.run(requests)
+    identical = all(np.array_equal(r.output, reference[r.request.sample])
+                    for r in result.responses)
+    hits = sum(1 for r in result.responses if r.cache_hit)
+    return {"requests": len(result.responses), "cache_hits": int(hits),
+            "bit_identical": bool(identical)}
+
+
+def record(metrics: dict) -> Path:
+    doc = {"schema": "bench_serve/v1"}
+    if BENCH_SERVE_PATH.exists():
+        try:
+            existing = json.loads(BENCH_SERVE_PATH.read_text())
+            if existing.get("schema") == doc["schema"]:
+                doc = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # rewrite a corrupt file from scratch
+    doc.update(metrics)
+    BENCH_SERVE_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return BENCH_SERVE_PATH
+
+
+def render(pricing: dict, sweep: dict) -> list[str]:
+    rec = pricing["recommended_replicas"]
+    lines = [
+        f"Downscaling service: {MODEL} model, {RATE_RPS:g} rps for "
+        f"{DURATION_S:g}s, SLO p99 <= {SLO_P99_S * 1e3:g} ms",
+        f"sizing: {rec} replicas x {GPUS_PER_REPLICA} GPUs recommended "
+        f"(burst, per-sample {pricing['per_sample_s'] * 1e3:.1f} ms)",
+        f"cache: {CACHE_CAPACITY} entries over {N_INPUTS} distinct inputs",
+        "-" * 72,
+        f"{'scenario':>9s} {'reqs':>6s} {'p50 ms':>8s} {'p99 ms':>8s} "
+        f"{'rps':>7s} {'depth':>6s} {'bmean':>6s} {'hit%':>6s} {'util%':>6s}",
+    ]
+    for scenario in SCENARIOS:
+        s = sweep[scenario]
+        lines.append(
+            f"{scenario:>9s} {s['requests']:>6d} "
+            f"{s['latency_p50_s'] * 1e3:>8.2f} "
+            f"{s['latency_p99_s'] * 1e3:>8.2f} "
+            f"{s['throughput_rps']:>7.1f} {s['queue_depth_max']:>6.0f} "
+            f"{s['batch_size_mean']:>6.2f} "
+            f"{s['cache_hit_rate'] * 100:>6.1f} "
+            f"{s['utilization_mean'] * 100:>6.1f}")
+    return lines
+
+
+def gates(pricing: dict, sweep: dict) -> list[str]:
+    """Return failed-gate messages (empty == pass)."""
+    failures = []
+    if pricing["recommended_replicas"] is None:
+        failures.append("serve_report found no replica count meeting the SLO")
+    burst = sweep["burst"]
+    if not burst["latency_p99_s"] <= SLO_P99_S:
+        failures.append(
+            f"burst p99 {burst['latency_p99_s']:.3f}s misses the "
+            f"{SLO_P99_S:g}s SLO at the recommended replica count")
+    for scenario, s in sweep.items():
+        if not s["requests"] > 0:
+            failures.append(f"{scenario}: no requests served")
+        if not s["cache_hit_rate"] > 0.0:
+            failures.append(f"{scenario}: cache saw no hits")
+        if not s["cache_evictions"] > 0:
+            failures.append(f"{scenario}: cache never evicted "
+                            "(population too small to be meaningful)")
+        if not 0.0 < s["utilization_mean"] <= 1.0:
+            failures.append(f"{scenario}: implausible utilization "
+                            f"{s['utilization_mean']}")
+    return failures
+
+
+def test_serve_scenarios(benchmark):
+    pricing = replica_pricing()
+    sweep = benchmark(scenario_sweep, pricing["recommended_replicas"])
+    write_table("serve_scenarios", render(pricing, sweep), golden_rtol=0.25)
+    record({"pricing": pricing, "scenarios": sweep})
+    assert not gates(pricing, sweep)
+    # burst saturates deeper queues than steady at the same replica count
+    assert sweep["burst"]["queue_depth_max"] >= sweep["steady"]["queue_depth_max"]
+
+
+def test_served_outputs_bit_identical(benchmark):
+    result = benchmark.pedantic(measured_equivalence, rounds=1, iterations=1)
+    record({"measured_equivalence": result})
+    assert result["bit_identical"]
+    assert result["cache_hits"] > 0
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    pricing = replica_pricing()
+    sweep = scenario_sweep(pricing["recommended_replicas"] or 1)
+    for line in render(pricing, sweep):
+        print(line)
+    write_table("serve_scenarios", render(pricing, sweep))
+    metrics = {"pricing": pricing, "scenarios": sweep}
+    if not quick:
+        metrics["measured_equivalence"] = measured_equivalence()
+    path = record(metrics)
+    print(f"[bench_serve] wrote {path}")
+    failures = gates(pricing, sweep)
+    if not quick:
+        m = metrics["measured_equivalence"]
+        if not m["bit_identical"]:
+            failures.append("served outputs diverged from predict_dataset")
+        if not m["cache_hits"] > 0:
+            failures.append("executed run produced no cache hits")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

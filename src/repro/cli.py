@@ -14,6 +14,10 @@ Entry points for downstream users who want results without writing code:
   and write a Perfetto-loadable Chrome trace + metrics summary;
 * ``repro trace``    — modeled per-rank timeline of one composite step
   (no execution), exported in the same Chrome trace format;
+* ``repro serve``    — run a traffic scenario through the downscaling
+  service (queue, dynamic batching, tile cache, replicas) and print the
+  latency/throughput/utilization report; ``--replicas 0`` sizes the
+  fleet against the SLO via ``perf_model.serve_report``;
 * ``repro export``   — materialize a dataset split to a ``.npz`` archive.
 
 Run ``python -m repro.cli <command> --help`` for options.
@@ -108,6 +112,39 @@ def build_parser() -> argparse.ArgumentParser:
     tr.add_argument("--n-buckets", type=int, default=8,
                     help="gradient buckets for the overlapped schedule")
     tr.add_argument("--output", default="plan_trace.json")
+
+    sv = sub.add_parser("serve", help="run a traffic scenario through the "
+                                      "downscaling service")
+    sv.add_argument("--scenario", choices=["steady", "diurnal", "burst"],
+                    default="burst")
+    sv.add_argument("--model", choices=["9.5M", "126M", "1B", "10B"],
+                    default="1B", help="model config pricing the replicas")
+    sv.add_argument("--rate", type=float, default=40.0,
+                    help="mean arrival rate, requests/s")
+    sv.add_argument("--duration", type=float, default=30.0,
+                    help="scenario length, simulated seconds")
+    sv.add_argument("--replicas", type=int, default=2,
+                    help="model replicas (0: size against the SLO via "
+                         "serve_report)")
+    sv.add_argument("--gpus-per-replica", type=int, default=8)
+    sv.add_argument("--max-batch", type=int, default=8)
+    sv.add_argument("--max-wait", type=float, default=0.05,
+                    help="batching max wait, seconds")
+    sv.add_argument("--cache-capacity", type=int, default=64,
+                    help="LRU tile cache entries (0: cache off)")
+    sv.add_argument("--slo-p99", type=float, default=0.5,
+                    help="p99 latency SLO, seconds")
+    sv.add_argument("--n-inputs", type=int, default=16,
+                    help="distinct coarse fields in the traffic")
+    sv.add_argument("--seed", type=int, default=0)
+    sv.add_argument("--execute", action="store_true",
+                    help="serve a real (tiny) model on synthetic data "
+                         "instead of the latency-only scheduler")
+    sv.add_argument("--trace-out", default=None,
+                    help="also write the serving timeline as Chrome "
+                         "trace JSON")
+    sv.add_argument("--metrics-out", default=None,
+                    help="dump the service metrics registry to this path")
 
     x = sub.add_parser("export", help="export a dataset split to .npz")
     x.add_argument("--grid", type=int, nargs=2, default=(32, 64))
@@ -367,6 +404,93 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.core import PAPER_CONFIGS
+    from repro.distributed import serve_report
+    from repro.serve import BatchPolicy, DownscalingService, TileCache, TrafficGenerator
+
+    cfg = PAPER_CONFIGS[args.model]
+    n_replicas = args.replicas
+    if n_replicas == 0:
+        report = serve_report(
+            cfg, scenario=args.scenario, rate_rps=args.rate,
+            duration_s=args.duration, slo_p99_s=args.slo_p99,
+            gpus_per_replica=args.gpus_per_replica,
+            max_batch=args.max_batch, max_wait_s=args.max_wait,
+            seed=args.seed)
+        print(f"replica pricing for {args.scenario} @ {args.rate:g} rps, "
+              f"SLO p99 <= {args.slo_p99:g}s "
+              f"(model {args.model}, {args.gpus_per_replica} GPUs/replica):")
+        print(f"{'replicas':>9s} {'GPUs':>6s} {'p50_s':>9s} {'p99_s':>9s} "
+              f"{'util':>7s} {'SLO':>5s}")
+        for row in report["rows"]:
+            print(f"{row['replicas']:>9d} {row['gpus']:>6d} "
+                  f"{row['p50_s']:>9.4f} {row['p99_s']:>9.4f} "
+                  f"{row['utilization_mean']:>6.1%} "
+                  f"{'ok' if row['meets_slo'] else 'MISS':>5s}")
+        if report["recommended_replicas"] is None:
+            print("no replica count meets the SLO; raise --replicas range "
+                  "or relax --slo-p99", file=sys.stderr)
+            return 1
+        n_replicas = report["recommended_replicas"]
+        print(f"recommended: {n_replicas} replicas\n")
+
+    gen = TrafficGenerator(args.scenario, args.rate, args.duration,
+                           seed=args.seed, n_inputs=args.n_inputs)
+    cache = TileCache(args.cache_capacity) if args.cache_capacity else None
+    policy = BatchPolicy(max_batch=args.max_batch, max_wait_s=args.max_wait)
+    if args.execute:
+        from repro.core import ModelConfig, Reslim
+
+        ds = _make_dataset((16, 32), 4, 1, max(4, args.n_inputs // 4), args.seed)
+        ds.fit_normalizer()
+        inputs = [ds.normalizer.normalize(ds.raw_pair(i % len(ds))[0])
+                  for i in range(args.n_inputs)]
+        model = Reslim(ModelConfig("serve", embed_dim=16, depth=1, num_heads=2),
+                       23, 3, factor=4, max_tokens=64,
+                       rng=np.random.default_rng(args.seed))
+        service = DownscalingService(
+            model, n_replicas=n_replicas,
+            gpus_per_replica=args.gpus_per_replica, policy=policy,
+            cache=cache, target_normalizer=ds.target_normalizer,
+            config=cfg)
+        requests = gen.generate(inputs=inputs)
+    else:
+        service = DownscalingService(
+            n_replicas=n_replicas, gpus_per_replica=args.gpus_per_replica,
+            policy=policy, cache=cache, config=cfg)
+        requests = gen.generate()
+    result = service.run(requests)
+    s = result.summary()
+    mode = "executed" if args.execute else "latency-only"
+    print(f"served {s['requests']} requests ({args.scenario}, {mode}) on "
+          f"{n_replicas} replicas x {s['gpus_per_replica']} GPUs "
+          f"in {s['duration_s']:.2f}s simulated")
+    print(f"  throughput:   {s['throughput_rps']:10.1f} rps")
+    print(f"  latency p50:  {s['latency_p50_s'] * 1e3:10.2f} ms")
+    print(f"  latency p99:  {s['latency_p99_s'] * 1e3:10.2f} ms   "
+          f"(SLO {args.slo_p99 * 1e3:g} ms: "
+          f"{'ok' if s['latency_p99_s'] <= args.slo_p99 else 'MISS'})")
+    print(f"  queue depth:  {s['queue_depth_max']:10.0f} max, "
+          f"{s['queue_depth_p99']:.0f} p99")
+    print(f"  batches:      {s['batches']:10.0f} "
+          f"(mean size {s['batch_size_mean']:.2f})")
+    if cache is not None:
+        print(f"  cache:        {s['cache_hit_rate']:10.1%} hit rate "
+              f"({s['cache_hits']:.0f} hits, {s['cache_evictions']:.0f} "
+              f"evictions)")
+    print(f"  utilization:  {s['utilization_mean']:10.1%} mean over replicas")
+    if args.trace_out:
+        result.export_chrome(args.trace_out)
+        print(f"trace written to {args.trace_out} "
+              f"(load at https://ui.perfetto.dev)")
+    if args.metrics_out:
+        from pathlib import Path
+        Path(args.metrics_out).write_text(result.metrics.dump())
+        print(f"metrics written to {args.metrics_out}")
+    return 0
+
+
 def _cmd_export(args) -> int:
     from repro.data.io import export_dataset
 
@@ -382,7 +506,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "scale": _cmd_scale, "plan": _cmd_plan,
                 "profile": _cmd_profile, "trace": _cmd_trace,
-                "export": _cmd_export}
+                "serve": _cmd_serve, "export": _cmd_export}
     return handlers[args.command](args)
 
 

@@ -47,6 +47,12 @@ __all__ = [
     "step_traffic_schedule",
     "modeled_step_timeline",
     "overlap_report",
+    "ServiceTimeModel",
+    "DEFAULT_SERVICE_TIME",
+    "SERVE_DISPATCH_S",
+    "inference_time_per_sample",
+    "service_time_model",
+    "serve_report",
     "time_per_sample",
     "sustained_flops",
     "strong_scaling_efficiency",
@@ -630,6 +636,132 @@ def overlap_report(plan: CompositePlan, config: ModelConfig,
         "overlapped_fraction": hidden / total_async if total_async else 0.0,
         "speedup": step_barrier / step_overlap if step_overlap else 1.0,
         "n_buckets": n_buckets,
+    }
+
+
+# ---------------------------------------------------------------------- #
+# serving: inference pricing and replica-count planning
+# ---------------------------------------------------------------------- #
+#: host-side cost of one dispatched batch: staging the coarse fields to
+#: the replica, kernel launches, and output writeback — paid once per
+#: batch, which is exactly the overhead dynamic coalescing amortizes
+SERVE_DISPATCH_S = 2.0e-3
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Modeled wall time of one coalesced inference batch.
+
+    Linear in batch size: a fixed per-dispatch cost plus a per-sample
+    roofline inference time.  Callable so the scheduler treats any
+    ``batch_size -> seconds`` function interchangeably.
+    """
+
+    dispatch_s: float
+    per_sample_s: float
+
+    def __call__(self, batch_size: int) -> float:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.dispatch_s + batch_size * self.per_sample_s
+
+
+#: generic fallback when no model config is supplied: a 126M-class
+#: replica on a single GCD (~20 ms/sample at 4096 tokens)
+DEFAULT_SERVICE_TIME = ServiceTimeModel(dispatch_s=SERVE_DISPATCH_S,
+                                        per_sample_s=2.0e-2)
+
+
+def inference_time_per_sample(config: ModelConfig,
+                              tokens_per_sample: int = 4096,
+                              gpus_per_replica: int = 1,
+                              topology: FrontierTopology = FRONTIER) -> float:
+    """Roofline seconds for one forward pass over one sample's tokens.
+
+    The replica's GPUs split the work evenly (TILES/TP inside the
+    replica are embarrassingly parallel at inference — no gradient
+    traffic), so per-sample time scales 1/gpus_per_replica on top of
+    the same saturating rate the training model uses.
+    """
+    if gpus_per_replica < 1:
+        raise ValueError("gpus_per_replica must be >= 1")
+    rate = _roofline_rate(tokens_per_sample, config.embed_dim, topology)
+    flops = transformer_flops(tokens_per_sample, config, training=False)
+    return flops / (gpus_per_replica * rate)
+
+
+def service_time_model(config: ModelConfig, tokens_per_sample: int = 4096,
+                       gpus_per_replica: int = 1,
+                       topology: FrontierTopology = FRONTIER,
+                       dispatch_s: float = SERVE_DISPATCH_S) -> ServiceTimeModel:
+    """The :class:`ServiceTimeModel` for one replica of ``config``."""
+    return ServiceTimeModel(
+        dispatch_s=dispatch_s,
+        per_sample_s=inference_time_per_sample(
+            config, tokens_per_sample, gpus_per_replica, topology))
+
+
+def serve_report(config: ModelConfig, *, scenario: str = "burst",
+                 rate_rps: float = 50.0, duration_s: float = 60.0,
+                 slo_p99_s: float = 0.5, max_replicas: int = 8,
+                 gpus_per_replica: int = 8, max_batch: int = 8,
+                 max_wait_s: float = 0.05, tokens_per_sample: int = 4096,
+                 seed: int = 0, replica_counts: list[int] | None = None,
+                 topology: FrontierTopology = FRONTIER) -> dict:
+    """Price replica counts against a p99 latency SLO.
+
+    For each candidate replica count the traffic scenario is played
+    through the *actual* serving scheduler (latency-only — no model
+    executes), so the report and a real service run on the same
+    configuration agree number-for-number.  Returns one row per count
+    (p50/p99 latency, throughput, mean utilization, SLO verdict) plus
+    ``recommended_replicas``: the smallest count whose simulated p99
+    meets the SLO, or ``None`` if none does — the "how many GPUs does
+    this traffic cost" answer the capacity plan needs.
+    """
+    # function-level import: repro.serve depends on this module
+    from ..serve import BatchPolicy, DownscalingService, TrafficGenerator
+    from .comm import VirtualCluster
+
+    if slo_p99_s <= 0:
+        raise ValueError("slo_p99_s must be positive")
+    counts = replica_counts or list(range(1, max_replicas + 1))
+    if not counts or min(counts) < 1:
+        raise ValueError("replica_counts must be positive")
+    st = service_time_model(config, tokens_per_sample, gpus_per_replica,
+                            topology)
+    gen = TrafficGenerator(scenario, rate_rps, duration_s, seed=seed)
+    rows: list[dict] = []
+    recommended = None
+    for n in sorted(counts):
+        service = DownscalingService(
+            n_replicas=n,
+            policy=BatchPolicy(max_batch=max_batch, max_wait_s=max_wait_s),
+            cluster=VirtualCluster(n * gpus_per_replica, topology),
+            service_time=st)
+        summary = service.run(gen.generate()).summary()
+        meets = summary["latency_p99_s"] <= slo_p99_s
+        rows.append({
+            "replicas": n,
+            "gpus": n * gpus_per_replica,
+            "p50_s": summary["latency_p50_s"],
+            "p99_s": summary["latency_p99_s"],
+            "throughput_rps": summary["throughput_rps"],
+            "utilization_mean": summary["utilization_mean"],
+            "meets_slo": meets,
+        })
+        if meets and recommended is None:
+            recommended = n
+    return {
+        "scenario": scenario,
+        "rate_rps": rate_rps,
+        "duration_s": duration_s,
+        "slo_p99_s": slo_p99_s,
+        "gpus_per_replica": gpus_per_replica,
+        "per_sample_s": st.per_sample_s,
+        "dispatch_s": st.dispatch_s,
+        "rows": rows,
+        "recommended_replicas": recommended,
     }
 
 

@@ -1,0 +1,421 @@
+"""The production downscaling service: queue, batcher, cache, replicas.
+
+:class:`DownscalingService` turns the bare ``predict_dataset`` loop into
+a *system*: requests arrive on a simulated clock, a dynamic batcher
+coalesces them under a max-batch/max-wait policy, an LRU tile cache
+short-circuits repeat coarse inputs by content hash, and N model
+replicas — each owning a contiguous slice of the virtual cluster —
+serve batches in parallel.  Everything runs as a deterministic
+discrete-event simulation: *time* is modeled (dispatch overhead +
+per-sample roofline inference time, the same pricing family as
+``repro.distributed.perf_model``), while *outputs* are real — each
+request's coarse field goes through the actual model.
+
+**Determinism contract.**  Served outputs are bit-identical to a direct
+:func:`repro.train.predict_dataset` pass over the same inputs,
+regardless of how requests were batched, cached, or placed on replicas:
+
+* a coalesced batch executes its members through the same per-sample
+  kernel path as ``predict_dataset`` (the engine is batch-invariant;
+  ``tests/serve`` pins this), so coalescing is a *scheduling* decision
+  with zero numeric footprint — its payoff, amortized dispatch
+  overhead, lives entirely in the modeled timeline;
+* the cache stores frozen copies keyed by content hash, so a hit
+  returns exactly the bytes a miss would have computed;
+* replicas share one set of weights, so placement cannot matter.
+
+That contract is what makes the layer testable: the equivalence suite
+asserts bitwise equality over the full scenario × replica × cache grid.
+
+Instrumentation is first-class ``repro.obs``: per-request latency and
+queue-wait histograms (p50/p99 in the metrics dump), queue depth
+sampled at every arrival, cache hit-rate, and per-replica utilization —
+plus trace spans (one ``serve/replica`` root per replica covering the
+run, one ``serve/batch`` child per dispatch) that export to the same
+Perfetto-loadable Chrome format as training traces, and whose coverage
+reproduces the utilization gauges exactly (the metrics-contract tests
+gate this).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..distributed.comm import VirtualCluster
+from ..distributed.perf_model import DEFAULT_SERVICE_TIME, service_time_model
+from ..obs.clock import SimClock
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import Span
+from ..tensor import Tensor, no_grad
+from ..train.inference import build_inference_runner
+from .cache import TileCache, content_key
+from .traffic import Request
+
+__all__ = ["BatchPolicy", "Response", "ServeResult", "DownscalingService"]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Dynamic-batching policy: dispatch at ``max_batch`` requests or
+    once the oldest queued request has waited ``max_wait_s``, whichever
+    comes first (and an idle replica exists)."""
+
+    max_batch: int = 8
+    max_wait_s: float = 0.05
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class Response:
+    """One served request with its full timing record."""
+
+    request: Request
+    dispatch_s: float
+    complete_s: float
+    replica: int | None      # None for cache hits (never reached a replica)
+    batch_size: int          # coalesced batch size (1 for cache hits)
+    cache_hit: bool
+    output: np.ndarray | None
+
+    @property
+    def arrival_s(self) -> float:
+        return self.request.arrival_s
+
+    @property
+    def latency_s(self) -> float:
+        return self.complete_s - self.request.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.dispatch_s - self.request.arrival_s
+
+
+@dataclass
+class ServeResult:
+    """Everything one service run produced: responses, spans, metrics."""
+
+    responses: list[Response]
+    spans: list[Span]
+    metrics: MetricsRegistry
+    duration_s: float
+    n_replicas: int
+    gpus_per_replica: int
+    utilization: dict[int, float] = field(default_factory=dict)
+
+    def summary(self) -> dict:
+        """JSON-ready headline numbers (the ``BENCH_serve`` schema)."""
+        m = self.metrics
+        lat = m.histograms.get("serve/latency_s")
+        wait = m.histograms.get("serve/queue_wait_s")
+        depth = m.histograms.get("serve/queue_depth")
+        bsize = m.histograms.get("serve/batch_size")
+        n = len(self.responses)
+        out = {
+            "requests": n,
+            "duration_s": self.duration_s,
+            "throughput_rps": n / self.duration_s if self.duration_s else 0.0,
+            "latency_p50_s": lat.percentile(50) if lat else 0.0,
+            "latency_p99_s": lat.percentile(99) if lat else 0.0,
+            "latency_mean_s": lat.mean if lat else 0.0,
+            "latency_max_s": lat.max if lat and lat.count else 0.0,
+            "queue_wait_p99_s": wait.percentile(99) if wait else 0.0,
+            "queue_depth_max": depth.max if depth and depth.count else 0.0,
+            "queue_depth_p99": depth.percentile(99) if depth else 0.0,
+            "batches": m.counters.get("serve/batches", 0.0),
+            "batch_size_mean": bsize.mean if bsize else 0.0,
+            "cache_hits": m.counters.get("serve/cache/hits", 0.0),
+            "cache_misses": m.counters.get("serve/cache/misses", 0.0),
+            "cache_evictions": m.counters.get("serve/cache/evictions", 0.0),
+            "cache_hit_rate": m.gauges.get("serve/cache/hit_rate", 0.0),
+            "n_replicas": self.n_replicas,
+            "gpus_per_replica": self.gpus_per_replica,
+            "utilization_mean": (sum(self.utilization.values())
+                                 / len(self.utilization)
+                                 if self.utilization else 0.0),
+            "utilization": {str(r): u for r, u in self.utilization.items()},
+        }
+        return out
+
+    def export_chrome(self, path) -> None:
+        from ..obs.export import write_chrome_trace
+        write_chrome_trace(path, self.spans)
+
+
+# event ordering at equal timestamps: completions populate the cache
+# before same-instant arrivals probe it, and both precede deadline checks
+_COMPLETE, _ARRIVAL, _DEADLINE = 0, 1, 2
+
+_MISS_SENTINEL = object()
+
+
+class DownscalingService:
+    """Queue + batcher + cache + replicas over a virtual cluster.
+
+    Parameters
+    ----------
+    model:
+        The downscaler to execute (any ``(1, C, h, w) -> (1, C', H, W)``
+        module).  ``None`` runs the scheduler latency-only — same queue
+        dynamics, no outputs — which is how
+        :func:`repro.distributed.perf_model.serve_report` prices replica
+        counts without paying for compute.
+    n_replicas:
+        Model replicas; the cluster's ranks are split into contiguous
+        equal slices, one per replica (replica sharding).
+    policy:
+        Dynamic-batching policy (:class:`BatchPolicy`).
+    cache:
+        A :class:`TileCache`, or ``None`` to disable caching.
+    cluster:
+        The :class:`VirtualCluster` to shard replicas across; defaults
+        to ``n_replicas * gpus_per_replica`` ranks.
+    target_normalizer:
+        Maps model outputs back to physical units, exactly as
+        ``predict_dataset`` does (pass the dataset's).
+    n_tiles / halo / factor / coarse_shape:
+        Tiled-inference configuration, validated up front through
+        :func:`repro.train.build_inference_runner`.
+    service_time:
+        ``batch_size -> seconds`` pricing of one dispatched batch;
+        defaults to :func:`repro.distributed.perf_model.service_time_model`
+        for ``config`` (or a generic constant model when no config is
+        given).
+    hit_latency_s:
+        Modeled latency of answering from the cache.
+    """
+
+    def __init__(self, model=None, *, n_replicas: int = 1,
+                 gpus_per_replica: int = 1,
+                 policy: BatchPolicy | None = None,
+                 cache: TileCache | None = None,
+                 cluster: VirtualCluster | None = None,
+                 target_normalizer=None, n_tiles: int = 1, halo: int = 0,
+                 factor: int | None = None,
+                 coarse_shape: tuple[int, int] | None = None,
+                 service_time=None, config=None,
+                 tokens_per_sample: int = 4096,
+                 hit_latency_s: float = 1.0e-4):
+        if n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if hit_latency_s < 0.0:
+            raise ValueError("hit_latency_s must be >= 0")
+        self.policy = policy or BatchPolicy()
+        self.cache = cache
+        self.cluster = cluster or VirtualCluster(n_replicas * gpus_per_replica)
+        if self.cluster.world_size % n_replicas:
+            raise ValueError(
+                f"world {self.cluster.world_size} not divisible into "
+                f"{n_replicas} replicas")
+        self.n_replicas = n_replicas
+        self.gpus_per_replica = self.cluster.world_size // n_replicas
+        self.hit_latency_s = hit_latency_s
+        self.model = model
+        self._runner = None
+        if model is not None:
+            model.eval()
+            self._runner = build_inference_runner(
+                model, n_tiles=n_tiles, halo=halo, factor=factor,
+                coarse_shape=coarse_shape)
+        self._target_normalizer = target_normalizer
+        if service_time is not None:
+            self.service_time = service_time
+        elif config is not None:
+            self.service_time = service_time_model(
+                config, tokens_per_sample=tokens_per_sample,
+                gpus_per_replica=self.gpus_per_replica,
+                topology=self.cluster.topology)
+        else:
+            self.service_time = DEFAULT_SERVICE_TIME
+
+    # ------------------------------------------------------------------ #
+    # replica layout
+    # ------------------------------------------------------------------ #
+    def replica_ranks(self, replica: int) -> list[int]:
+        g = self.gpus_per_replica
+        return list(range(replica * g, (replica + 1) * g))
+
+    def home_rank(self, replica: int) -> int:
+        return replica * self.gpus_per_replica
+
+    # ------------------------------------------------------------------ #
+    # execution (real outputs; the per-sample predict_dataset pipeline)
+    # ------------------------------------------------------------------ #
+    def _execute(self, x: np.ndarray) -> np.ndarray:
+        with no_grad():
+            pred = self._runner(Tensor(x[None])).data
+        if self._target_normalizer is not None:
+            pred = np.stack([self._target_normalizer.denormalize(p)
+                             for p in pred])
+        return pred[0]
+
+    @staticmethod
+    def _key(req: Request) -> str:
+        if req.input is not None:
+            return content_key(req.input)
+        return f"sample:{req.sample}"
+
+    # ------------------------------------------------------------------ #
+    # the discrete-event loop
+    # ------------------------------------------------------------------ #
+    def run(self, requests: list[Request]) -> ServeResult:
+        """Serve every request; returns responses + spans + metrics.
+
+        Deterministic: the same request list on the same service
+        configuration produces the identical result, event for event.
+        """
+        clock = SimClock.frozen()
+        metrics = MetricsRegistry()
+        spans: list[Span] = []
+        responses: dict[int, Response] = {}
+        pending: list[Request] = []          # FIFO queue of cache misses
+        busy_s = [0.0] * self.n_replicas
+        # authoritative replica frontiers: plain floats so the idle check
+        # compares bit-exactly against completion-event timestamps (the
+        # SimClock mirrors them for the per-rank trace timelines)
+        free = [0.0] * self.n_replicas
+        batches = 0
+
+        heap: list[tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(t: float, kind: int, payload) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t, kind, seq, payload))
+            seq += 1
+
+        for req in sorted(requests, key=lambda r: (r.arrival_s, r.rid)):
+            if req.rid in responses:
+                raise ValueError(f"duplicate request id {req.rid}")
+            responses[req.rid] = None  # reserve; filled on completion
+            push(req.arrival_s, _ARRIVAL, req)
+
+        def free_at(replica: int) -> float:
+            return free[replica]
+
+        def try_dispatch(now: float) -> None:
+            nonlocal batches
+            while pending:
+                idle = [r for r in range(self.n_replicas)
+                        if free_at(r) <= now]
+                if not idle:
+                    return
+                full = len(pending) >= self.policy.max_batch
+                # the deadline event was scheduled at exactly
+                # arrival + max_wait_s, so this comparison is exact
+                due = pending[0].arrival_s + self.policy.max_wait_s <= now
+                if not (full or due):
+                    return
+                batch = pending[: self.policy.max_batch]
+                del pending[: len(batch)]
+                replica = idle[0]
+                dur = float(self.service_time(len(batch)))
+                if dur < 0.0:
+                    raise ValueError("service_time returned a negative duration")
+                end = now + dur
+                free[replica] = end
+                for rank in self.replica_ranks(replica):
+                    clock.advance(rank, max(0.0, end - clock.now(rank)))
+                busy_s[replica] += dur
+                batches += 1
+                metrics.inc("serve/batches")
+                metrics.inc(f"serve/replica/{replica}/batches")
+                metrics.observe("serve/batch_size", len(batch))
+                spans.append(Span(
+                    name="serve/batch", cat="serve",
+                    rank=self.home_rank(replica), start_s=now, dur_s=dur,
+                    depth=1,
+                    args={"replica": replica, "batch_size": len(batch),
+                          "rids": [r.rid for r in batch], "modeled": True}))
+                outputs = None
+                if self._runner is not None:
+                    outputs = [self._execute(r.input) for r in batch]
+                push(end, _COMPLETE, (replica, batch, now, outputs))
+
+        def respond(req: Request, dispatch_s: float, complete_s: float,
+                    replica: int | None, batch_size: int, cache_hit: bool,
+                    output) -> None:
+            responses[req.rid] = Response(
+                request=req, dispatch_s=dispatch_s, complete_s=complete_s,
+                replica=replica, batch_size=batch_size, cache_hit=cache_hit,
+                output=output)
+            metrics.inc("serve/requests")
+            metrics.observe("serve/latency_s", complete_s - req.arrival_s)
+            metrics.observe("serve/queue_wait_s", dispatch_s - req.arrival_s)
+
+        duration = 0.0
+        while heap:
+            now, kind, _, payload = heapq.heappop(heap)
+            duration = max(duration, now)
+            if kind == _COMPLETE:
+                replica, batch, start, outputs = payload
+                for i, req in enumerate(batch):
+                    output = outputs[i] if outputs is not None else None
+                    if self.cache is not None:
+                        evicted_before = self.cache.evictions
+                        self.cache.put(self._key(req), output)
+                        metrics.inc("serve/cache/evictions",
+                                    self.cache.evictions - evicted_before)
+                    respond(req, start, now, replica, len(batch),
+                            cache_hit=False, output=output)
+            elif kind == _ARRIVAL:
+                req = payload
+                hit = _MISS_SENTINEL
+                if self.cache is not None:
+                    hit = self.cache.get(self._key(req), _MISS_SENTINEL)
+                    if hit is _MISS_SENTINEL:
+                        metrics.inc("serve/cache/misses")
+                    else:
+                        metrics.inc("serve/cache/hits")
+                if hit is not _MISS_SENTINEL:
+                    end = now + self.hit_latency_s
+                    duration = max(duration, end)
+                    respond(req, now, end, None, 1, cache_hit=True,
+                            output=hit)
+                else:
+                    pending.append(req)
+                    push(req.arrival_s + self.policy.max_wait_s,
+                         _DEADLINE, None)
+                metrics.observe("serve/queue_depth", len(pending))
+            # _DEADLINE events carry no state; they exist to wake the
+            # batcher at the max-wait boundary
+            try_dispatch(now)
+            if pending and not heap:
+                # all arrivals and completions processed but requests
+                # remain queued: wake at the earliest dispatch opportunity
+                wake = min(min(free_at(r) for r in range(self.n_replicas)),
+                           pending[0].arrival_s + self.policy.max_wait_s)
+                push(max(wake, now), _DEADLINE, None)
+
+        # ---------------- close out: roots, gauges ---------------- #
+        utilization: dict[int, float] = {}
+        for r in range(self.n_replicas):
+            util = busy_s[r] / duration if duration else 0.0
+            utilization[r] = util
+            metrics.inc(f"serve/replica/{r}/busy_s", busy_s[r])
+            metrics.gauge(f"serve/replica/{r}/utilization", util)
+            spans.append(Span(
+                name="serve/replica", cat="serve", rank=self.home_rank(r),
+                start_s=0.0, dur_s=duration, depth=0,
+                args={"replica": r, "ranks": self.replica_ranks(r),
+                      "utilization": util, "modeled": True}))
+        if self.cache is not None:
+            metrics.gauge("serve/cache/hit_rate", self.cache.hit_rate)
+            metrics.gauge("serve/cache/size", len(self.cache))
+        metrics.gauge("serve/duration_s", duration)
+        if duration:
+            metrics.gauge("serve/throughput_rps", len(responses) / duration)
+        ordered = [responses[rid] for rid in sorted(responses)]
+        if any(resp is None for resp in ordered):
+            raise RuntimeError("scheduler dropped a request")  # unreachable
+        return ServeResult(responses=ordered, spans=spans, metrics=metrics,
+                           duration_s=duration, n_replicas=self.n_replicas,
+                           gpus_per_replica=self.gpus_per_replica,
+                           utilization=utilization)

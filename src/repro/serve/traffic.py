@@ -1,0 +1,156 @@
+"""Synthetic request traffic: steady, diurnal, and burst scenarios.
+
+"Millions of users" means the *queue*, not the model, is the system
+under test — so the serving layer is exercised by a seeded arrival
+process rather than a dataset loop.  Three canonical load shapes:
+
+* ``steady``  — homogeneous Poisson arrivals at ``rate_rps``;
+* ``diurnal`` — a day-curve: sinusoidal rate between
+  ``rate·(1−a)`` and ``rate·(1+a)`` with mean ``rate`` (one full period
+  over the scenario duration by default);
+* ``burst``   — steady background plus a ``burst_factor``× spike over a
+  fraction of the window (a viral region, an incoming cyclone).
+
+Arrivals are drawn by Lewis–Shedler thinning of a homogeneous Poisson
+process at the peak rate, from a seeded generator — the same
+``(scenario, rate, duration, seed)`` always reproduces the same request
+list, which is what lets the serving equivalence tests enumerate
+scenario × replica × cache grids deterministically.
+
+Each request references one of ``n_inputs`` distinct coarse fields with
+Zipf-skewed popularity (exponent ``popularity``), so a content-keyed
+cache sees realistic repeat traffic: a few hot regions requested over
+and over, a long tail requested rarely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Request", "SCENARIOS", "TrafficGenerator"]
+
+SCENARIOS = ("steady", "diurnal", "burst")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request: a coarse field wanted at fine resolution.
+
+    ``sample`` identifies which of the generator's distinct inputs this
+    request carries; ``input`` is the coarse array itself (normalized,
+    ``(C, h, w)``) or ``None`` in latency-only simulations, where the
+    scheduler runs but no model executes.
+    """
+
+    rid: int
+    arrival_s: float
+    sample: int
+    input: np.ndarray | None = field(default=None, repr=False)
+
+
+class TrafficGenerator:
+    """Seeded arrival-process generator for the three load scenarios."""
+
+    def __init__(self, scenario: str, rate_rps: float, duration_s: float,
+                 *, seed: int = 0, n_inputs: int = 16,
+                 popularity: float = 1.0, diurnal_amplitude: float = 0.8,
+                 period_s: float | None = None, burst_factor: float = 6.0,
+                 burst_start: float = 0.4, burst_width: float = 0.2):
+        if scenario not in SCENARIOS:
+            raise ValueError(f"unknown scenario {scenario!r}; "
+                             f"expected one of {SCENARIOS}")
+        if rate_rps <= 0 or duration_s <= 0:
+            raise ValueError("rate_rps and duration_s must be positive")
+        if not 0.0 <= diurnal_amplitude < 1.0:
+            raise ValueError("diurnal_amplitude must be in [0, 1)")
+        if burst_factor < 1.0:
+            raise ValueError("burst_factor must be >= 1")
+        if not (0.0 <= burst_start <= 1.0 and 0.0 < burst_width <= 1.0):
+            raise ValueError("burst window fractions out of range")
+        if n_inputs < 1:
+            raise ValueError("need at least one distinct input")
+        self.scenario = scenario
+        self.rate_rps = float(rate_rps)
+        self.duration_s = float(duration_s)
+        self.seed = seed
+        self.n_inputs = n_inputs
+        self.popularity = float(popularity)
+        self.diurnal_amplitude = float(diurnal_amplitude)
+        self.period_s = float(period_s) if period_s else float(duration_s)
+        self.burst_factor = float(burst_factor)
+        self.burst_start_s = burst_start * self.duration_s
+        self.burst_end_s = min(self.duration_s,
+                               self.burst_start_s + burst_width * self.duration_s)
+
+    # ------------------------------------------------------------------ #
+    # the rate function lambda(t)
+    # ------------------------------------------------------------------ #
+    def rate_at(self, t: float) -> float:
+        """Instantaneous arrival rate (requests/s) at scenario time ``t``."""
+        if self.scenario == "steady":
+            return self.rate_rps
+        if self.scenario == "diurnal":
+            # trough at t=0, peak mid-period; time-average is rate_rps
+            phase = 2.0 * np.pi * t / self.period_s
+            return self.rate_rps * (1.0 - self.diurnal_amplitude * np.cos(phase))
+        if self.burst_start_s <= t < self.burst_end_s:
+            return self.rate_rps * self.burst_factor
+        return self.rate_rps
+
+    @property
+    def peak_rate_rps(self) -> float:
+        if self.scenario == "steady":
+            return self.rate_rps
+        if self.scenario == "diurnal":
+            return self.rate_rps * (1.0 + self.diurnal_amplitude)
+        return self.rate_rps * self.burst_factor
+
+    @property
+    def expected_requests(self) -> float:
+        """Integral of the rate over the window (mean of the Poisson count)."""
+        if self.scenario == "burst":
+            burst_len = self.burst_end_s - self.burst_start_s
+            return self.rate_rps * (self.duration_s
+                                    + (self.burst_factor - 1.0) * burst_len)
+        # steady and diurnal are mean-preserving by construction
+        return self.rate_rps * self.duration_s
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def _sample_weights(self) -> np.ndarray:
+        ranks = np.arange(1, self.n_inputs + 1, dtype=np.float64)
+        w = ranks ** -self.popularity
+        return w / w.sum()
+
+    def generate(self, inputs: Sequence[np.ndarray] | None = None) -> list[Request]:
+        """The full request list for this scenario, sorted by arrival time.
+
+        ``inputs`` (optional) is a sequence of distinct coarse fields; it
+        must have ``n_inputs`` entries and is attached per-request so the
+        service can execute for real.  Without it requests carry
+        ``input=None`` (latency-only mode).
+        """
+        if inputs is not None and len(inputs) != self.n_inputs:
+            raise ValueError(f"{len(inputs)} inputs for n_inputs={self.n_inputs}")
+        rng = np.random.default_rng(self.seed)
+        peak = self.peak_rate_rps
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / peak)
+            if t >= self.duration_s:
+                break
+            # Lewis-Shedler thinning: keep with probability lambda(t)/peak
+            if rng.random() <= self.rate_at(t) / peak:
+                times.append(t)
+        samples = rng.choice(self.n_inputs, size=len(times),
+                             p=self._sample_weights())
+        return [
+            Request(rid=i, arrival_s=float(ts), sample=int(s),
+                    input=None if inputs is None else inputs[int(s)])
+            for i, (ts, s) in enumerate(zip(times, samples))
+        ]

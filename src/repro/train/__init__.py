@@ -2,7 +2,8 @@
 
 from .distributed_trainer import OrthogonalTrainer
 from .engine import DistributedEngine, mse_loss
-from .inference import evaluate_downscaling, global_inference, predict_dataset
+from .inference import (build_inference_runner, evaluate_downscaling,
+                        global_inference, predict_dataset)
 from .profiler import measure_sample_flops, parameter_bytes, profile_model
 from .trainer import TrainConfig, Trainer, load_checkpoint, save_checkpoint
 
@@ -14,6 +15,7 @@ __all__ = [
     "TrainConfig",
     "save_checkpoint",
     "load_checkpoint",
+    "build_inference_runner",
     "predict_dataset",
     "evaluate_downscaling",
     "global_inference",

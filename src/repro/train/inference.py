@@ -10,14 +10,53 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.tiles import TiledDownscaler
+from ..core.tiles import TiledDownscaler, make_tiles
 from ..data.datasets import DownscalingDataset
 from ..data.normalize import log1p_precip
 from ..evals import evaluate_all
 from ..nn import Module
 from ..tensor import Tensor, no_grad
 
-__all__ = ["predict_dataset", "evaluate_downscaling", "global_inference"]
+__all__ = ["build_inference_runner", "predict_dataset",
+           "evaluate_downscaling", "global_inference"]
+
+
+def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
+                           factor: int | None = None,
+                           coarse_shape: tuple[int, int] | None = None) -> Module:
+    """The inference runner for a (possibly tiled) downscaler, validated
+    up front.
+
+    Shared by :func:`predict_dataset`, :func:`global_inference`, and
+    :class:`repro.serve.DownscalingService`, so every inference path
+    resolves ``factor`` and checks the tiling geometry the same way —
+    and fails *here*, with a clear message, rather than deep inside
+    :class:`~repro.core.tiles.TiledDownscaler` mid-forward.
+
+    ``coarse_shape`` (the input grid ``(h, w)``), when known, lets the
+    tile partition be validated before any compute: the grid must divide
+    into the tile layout and the halo must be smaller than the tile core.
+    """
+    if n_tiles < 1:
+        raise ValueError(f"n_tiles must be >= 1, got {n_tiles}")
+    if halo < 0:
+        raise ValueError(f"halo must be non-negative, got {halo}")
+    if factor is None:
+        factor = getattr(model, "factor", None)
+    elif not isinstance(factor, (int, np.integer)) or isinstance(factor, bool) \
+            or factor < 1:
+        raise ValueError(f"factor must be a positive integer, got {factor!r}")
+    if n_tiles == 1:
+        return model
+    if factor is None:
+        raise ValueError(
+            "factor required for tiled inference: pass factor= or use a "
+            "model with a .factor attribute")
+    if coarse_shape is not None:
+        # raises the tile-geometry errors (non-divisible grid, halo >=
+        # tile core) before any forward pass runs
+        make_tiles(coarse_shape[0], coarse_shape[1], n_tiles, halo)
+    return TiledDownscaler(model, n_tiles=n_tiles, halo=halo, factor=int(factor))
 
 
 def predict_dataset(model: Module, dataset: DownscalingDataset,
@@ -26,16 +65,15 @@ def predict_dataset(model: Module, dataset: DownscalingDataset,
     """(predictions, targets) stacked over the dataset, raw units.
 
     ``n_tiles > 1`` routes through :class:`TiledDownscaler` — the TILES
-    inference path for grids that exceed one device's memory.
+    inference path for grids that exceed one device's memory.  The
+    tiling geometry is validated against the dataset's coarse grid
+    before any sample is processed.
     """
     model.eval()
-    runner: Module = model
-    if n_tiles > 1:
-        if factor is None:
-            factor = getattr(model, "factor", None)
-            if factor is None:
-                raise ValueError("factor required for tiled inference")
-        runner = TiledDownscaler(model, n_tiles=n_tiles, halo=halo, factor=factor)
+    coarse = dataset.spec.coarse_grid
+    runner = build_inference_runner(model, n_tiles=n_tiles, halo=halo,
+                                    factor=factor,
+                                    coarse_shape=(coarse.n_lat, coarse.n_lon))
     preds, targets = [], []
     with no_grad():
         for batch in dataset.batches(batch_size):
@@ -97,10 +135,9 @@ def global_inference(model: Module, coarse_input: np.ndarray,
     R²/RMSE/SSIM/PSNR of the precipitation channel in log space.
     """
     model.eval()
-    runner: Module = model
-    if n_tiles > 1:
-        factor = factor or getattr(model, "factor")
-        runner = TiledDownscaler(model, n_tiles=n_tiles, halo=halo, factor=factor)
+    runner = build_inference_runner(model, n_tiles=n_tiles, halo=halo,
+                                    factor=factor,
+                                    coarse_shape=coarse_input.shape[-2:])
     with no_grad():
         normalized = normalizer.normalize(coarse_input)
         pred = runner(Tensor(normalized[None])).data[0]

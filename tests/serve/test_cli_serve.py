@@ -1,0 +1,74 @@
+"""CLI smoke tests for ``repro serve``."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.scenario == "burst"
+        assert args.replicas == 2
+        assert args.cache_capacity == 64
+
+    def test_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--scenario", "tsunami"])
+
+
+class TestServeCommand:
+    def test_latency_only_run(self, capsys):
+        rc = main(["serve", "--scenario", "steady", "--rate", "30",
+                   "--duration", "3", "--replicas", "2", "--model", "126M",
+                   "--gpus-per-replica", "2", "--n-inputs", "8",
+                   "--cache-capacity", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "latency-only" in out
+        assert "latency p99" in out
+        assert "hit rate" in out
+
+    def test_cache_off(self, capsys):
+        rc = main(["serve", "--scenario", "steady", "--rate", "20",
+                   "--duration", "2", "--replicas", "1", "--model", "126M",
+                   "--gpus-per-replica", "2", "--cache-capacity", "0"])
+        assert rc == 0
+        assert "hit rate" not in capsys.readouterr().out
+
+    def test_auto_sizing_against_slo(self, capsys):
+        """--replicas 0 routes through serve_report and prints the
+        pricing table before serving at the recommendation."""
+        rc = main(["serve", "--scenario", "burst", "--rate", "30",
+                   "--duration", "5", "--replicas", "0", "--model", "126M",
+                   "--gpus-per-replica", "4", "--slo-p99", "0.5"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "replica pricing" in out
+        assert "recommended:" in out
+        assert "SLO" in out
+
+    def test_auto_sizing_impossible_slo_fails(self, capsys):
+        rc = main(["serve", "--scenario", "burst", "--rate", "30",
+                   "--duration", "2", "--replicas", "0", "--model", "1B",
+                   "--slo-p99", "1e-9"])
+        assert rc == 1
+        assert "no replica count meets the SLO" in capsys.readouterr().err
+
+    @pytest.mark.slow
+    def test_executed_run_with_artifacts(self, capsys, tmp_path):
+        trace = tmp_path / "serve.trace.json"
+        metrics = tmp_path / "serve.metrics.txt"
+        rc = main(["serve", "--scenario", "burst", "--rate", "25",
+                   "--duration", "2", "--replicas", "2", "--model", "126M",
+                   "--n-inputs", "8", "--cache-capacity", "4", "--execute",
+                   "--trace-out", str(trace), "--metrics-out", str(metrics)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "executed" in out
+        events = json.loads(trace.read_text())["traceEvents"]
+        assert any(e.get("name") == "serve/batch" for e in events)
+        assert "serve/latency_s" in metrics.read_text()

@@ -1,0 +1,89 @@
+"""Tests for the perf_model serving extensions: per-sample inference
+pricing and the replica-count-vs-SLO report."""
+
+import pytest
+
+from repro.core import PAPER_CONFIGS
+from repro.distributed import (
+    inference_time_per_sample,
+    serve_report,
+    service_time_model,
+)
+from repro.distributed.perf_model import DEFAULT_SERVICE_TIME, ServiceTimeModel
+
+
+class TestServiceTimeModel:
+    def test_affine_in_batch_size(self):
+        m = ServiceTimeModel(dispatch_s=2e-3, per_sample_s=1e-2)
+        assert m(1) == pytest.approx(1.2e-2)
+        assert m(4) == pytest.approx(2e-3 + 4e-2)
+        # amortization: per-request cost falls with batch size
+        assert m(8) / 8 < m(1)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            DEFAULT_SERVICE_TIME(0)
+
+    def test_inference_time_scales_with_model_and_gpus(self):
+        small = inference_time_per_sample(PAPER_CONFIGS["126M"])
+        big = inference_time_per_sample(PAPER_CONFIGS["1B"])
+        assert big > small > 0.0
+        sharded = inference_time_per_sample(PAPER_CONFIGS["1B"],
+                                            gpus_per_replica=8)
+        assert sharded == pytest.approx(big / 8)
+
+    def test_service_time_model_uses_roofline_per_sample(self):
+        cfg = PAPER_CONFIGS["126M"]
+        m = service_time_model(cfg, gpus_per_replica=4)
+        per_sample = inference_time_per_sample(cfg, gpus_per_replica=4)
+        assert m.per_sample_s == pytest.approx(per_sample)
+        assert m(2) == pytest.approx(m.dispatch_s + 2 * per_sample)
+
+
+class TestServeReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return serve_report(PAPER_CONFIGS["1B"], scenario="burst",
+                            rate_rps=40.0, duration_s=20.0, slo_p99_s=0.5,
+                            max_replicas=6, gpus_per_replica=8, seed=0)
+
+    def test_rows_cover_every_candidate_count(self, report):
+        assert [r["replicas"] for r in report["rows"]] == [1, 2, 3, 4, 5, 6]
+        for row in report["rows"]:
+            assert row["gpus"] == row["replicas"] * 8
+            assert row["p50_s"] <= row["p99_s"]
+            assert 0.0 <= row["utilization_mean"] <= 1.0
+            assert row["meets_slo"] == (row["p99_s"] <= 0.5)
+
+    def test_recommends_smallest_count_meeting_slo(self, report):
+        rec = report["recommended_replicas"]
+        assert rec is not None
+        meeting = [r["replicas"] for r in report["rows"] if r["meets_slo"]]
+        assert rec == min(meeting)
+        # everything below the recommendation misses the SLO
+        for row in report["rows"]:
+            if row["replicas"] < rec:
+                assert not row["meets_slo"]
+
+    def test_p99_improves_monotonically_until_saturation_lifts(self, report):
+        p99 = [r["p99_s"] for r in report["rows"]]
+        assert p99[0] == max(p99)  # one replica is the worst case
+
+    def test_deterministic(self, report):
+        again = serve_report(PAPER_CONFIGS["1B"], scenario="burst",
+                             rate_rps=40.0, duration_s=20.0, slo_p99_s=0.5,
+                             max_replicas=6, gpus_per_replica=8, seed=0)
+        assert again == report
+
+    def test_impossible_slo_recommends_nothing(self):
+        report = serve_report(PAPER_CONFIGS["1B"], scenario="burst",
+                              rate_rps=40.0, duration_s=5.0, slo_p99_s=1e-9,
+                              max_replicas=2, gpus_per_replica=8)
+        assert report["recommended_replicas"] is None
+        assert not any(r["meets_slo"] for r in report["rows"])
+
+    def test_explicit_replica_counts(self):
+        report = serve_report(PAPER_CONFIGS["126M"], scenario="steady",
+                              rate_rps=20.0, duration_s=5.0,
+                              replica_counts=[2, 4], gpus_per_replica=4)
+        assert [r["replicas"] for r in report["rows"]] == [2, 4]

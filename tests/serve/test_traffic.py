@@ -1,0 +1,123 @@
+"""Tests for the synthetic traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.serve import SCENARIOS, Request, TrafficGenerator
+
+
+class TestValidation:
+    def test_unknown_scenario(self):
+        with pytest.raises(ValueError, match="unknown scenario"):
+            TrafficGenerator("flashcrowd", 10.0, 1.0)
+
+    @pytest.mark.parametrize("rate,duration", [(0.0, 1.0), (-1.0, 1.0),
+                                               (1.0, 0.0), (1.0, -2.0)])
+    def test_nonpositive_rate_or_duration(self, rate, duration):
+        with pytest.raises(ValueError):
+            TrafficGenerator("steady", rate, duration)
+
+    def test_bad_amplitude_and_burst(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator("diurnal", 1.0, 1.0, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            TrafficGenerator("burst", 1.0, 1.0, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            TrafficGenerator("burst", 1.0, 1.0, burst_start=1.5)
+        with pytest.raises(ValueError):
+            TrafficGenerator("steady", 1.0, 1.0, n_inputs=0)
+
+    def test_generate_rejects_wrong_input_count(self):
+        gen = TrafficGenerator("steady", 5.0, 2.0, n_inputs=4)
+        with pytest.raises(ValueError, match="n_inputs=4"):
+            gen.generate(inputs=[np.zeros((1, 2, 2))] * 3)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_same_seed_same_requests(self, scenario):
+        a = TrafficGenerator(scenario, 20.0, 5.0, seed=7).generate()
+        b = TrafficGenerator(scenario, 20.0, 5.0, seed=7).generate()
+        assert [(r.rid, r.arrival_s, r.sample) for r in a] == \
+               [(r.rid, r.arrival_s, r.sample) for r in b]
+
+    def test_different_seed_differs(self):
+        a = TrafficGenerator("steady", 20.0, 5.0, seed=0).generate()
+        b = TrafficGenerator("steady", 20.0, 5.0, seed=1).generate()
+        assert [r.arrival_s for r in a] != [r.arrival_s for r in b]
+
+
+class TestShape:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_requests_sorted_in_window_with_valid_samples(self, scenario):
+        gen = TrafficGenerator(scenario, 30.0, 4.0, seed=3, n_inputs=8)
+        reqs = gen.generate()
+        assert reqs, "expected a non-empty request stream"
+        times = [r.arrival_s for r in reqs]
+        assert times == sorted(times)
+        assert all(0.0 <= t < 4.0 for t in times)
+        assert all(0 <= r.sample < 8 for r in reqs)
+        assert [r.rid for r in reqs] == list(range(len(reqs)))
+        assert all(r.input is None for r in reqs)
+
+    def test_generate_attaches_inputs_by_sample(self):
+        gen = TrafficGenerator("steady", 20.0, 2.0, seed=1, n_inputs=4)
+        inputs = [np.full((1, 2, 2), i, dtype=np.float32) for i in range(4)]
+        for r in gen.generate(inputs=inputs):
+            assert r.input is inputs[r.sample]
+
+    def test_count_near_expectation(self):
+        # 20 rps * 50 s = 1000 expected; Poisson sd ~32, allow 5 sigma
+        gen = TrafficGenerator("steady", 20.0, 50.0, seed=11)
+        n = len(gen.generate())
+        assert abs(n - gen.expected_requests) < 5 * np.sqrt(gen.expected_requests)
+
+
+class TestRateShapes:
+    def test_steady_rate_constant(self):
+        gen = TrafficGenerator("steady", 12.0, 10.0)
+        assert all(gen.rate_at(t) == 12.0 for t in (0.0, 3.3, 9.9))
+        assert gen.peak_rate_rps == 12.0
+        assert gen.expected_requests == 120.0
+
+    def test_diurnal_trough_peak_and_mean(self):
+        gen = TrafficGenerator("diurnal", 10.0, 100.0, diurnal_amplitude=0.8)
+        assert gen.rate_at(0.0) == pytest.approx(2.0)     # trough: rate*(1-a)
+        assert gen.rate_at(50.0) == pytest.approx(18.0)   # peak: rate*(1+a)
+        assert gen.peak_rate_rps == pytest.approx(18.0)
+        # time-average over one period is the nominal rate
+        ts = np.linspace(0.0, 100.0, 10001)
+        assert np.mean([gen.rate_at(t) for t in ts]) == pytest.approx(10.0, rel=1e-3)
+        assert gen.expected_requests == pytest.approx(1000.0)
+
+    def test_burst_window_and_integral(self):
+        gen = TrafficGenerator("burst", 10.0, 10.0, burst_factor=5.0,
+                               burst_start=0.4, burst_width=0.2)
+        assert gen.rate_at(3.9) == 10.0
+        assert gen.rate_at(4.0) == 50.0
+        assert gen.rate_at(5.9) == 50.0
+        assert gen.rate_at(6.0) == 10.0
+        assert gen.peak_rate_rps == 50.0
+        # integral: 10*10 + (5-1)*10*2s burst = 180
+        assert gen.expected_requests == pytest.approx(180.0)
+
+    def test_burst_spike_visible_in_arrivals(self):
+        gen = TrafficGenerator("burst", 10.0, 10.0, seed=5, burst_factor=6.0,
+                               burst_start=0.4, burst_width=0.2)
+        times = np.array([r.arrival_s for r in gen.generate()])
+        in_burst = np.sum((times >= 4.0) & (times < 6.0)) / 2.0
+        outside = np.sum((times < 4.0) | (times >= 6.0)) / 8.0
+        assert in_burst > 2.0 * outside  # 6x modeled; demand at least 2x
+
+    def test_popularity_skews_toward_low_ranks(self):
+        gen = TrafficGenerator("steady", 50.0, 20.0, seed=2, n_inputs=8,
+                               popularity=1.5)
+        samples = np.array([r.sample for r in gen.generate()])
+        counts = np.bincount(samples, minlength=8)
+        assert counts[0] > counts[-1]
+        assert counts[0] > len(samples) / 8  # hotter than uniform
+
+
+def test_request_repr_omits_payload():
+    r = Request(rid=0, arrival_s=0.5, sample=1, input=np.zeros((1, 2, 2)))
+    assert "input" not in repr(r)

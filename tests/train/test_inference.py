@@ -46,6 +46,64 @@ class TestPredictDataset:
         assert preds.shape == (2, 3, 16, 32)
 
 
+class TestInferenceValidation:
+    """``build_inference_runner`` fails fast, before any forward pass."""
+
+    def test_n_tiles_and_halo_ranges(self):
+        from repro.train import build_inference_runner
+        with pytest.raises(ValueError, match="n_tiles"):
+            build_inference_runner(_model(), n_tiles=0)
+        with pytest.raises(ValueError, match="halo"):
+            build_inference_runner(_model(), n_tiles=2, halo=-1)
+
+    @pytest.mark.parametrize("bad", [0, -4, 2.5, "4", True])
+    def test_explicit_factor_must_be_positive_int(self, bad):
+        with pytest.raises(ValueError, match="factor must be a positive"):
+            predict_dataset(_model(), _dataset(), factor=bad)
+
+    def test_factor_required_for_tiled_inference(self):
+        from repro.train import build_inference_runner
+
+        class NoFactor:
+            def eval(self):
+                return self
+
+        with pytest.raises(ValueError, match="factor required for tiled"):
+            build_inference_runner(NoFactor(), n_tiles=2)
+
+    def test_factor_resolved_from_model_attribute(self):
+        from repro.core import TiledDownscaler
+        from repro.train import build_inference_runner
+        runner = build_inference_runner(_model(), n_tiles=2, halo=1)
+        assert isinstance(runner, TiledDownscaler)
+        assert runner.factor == 4
+
+    def test_untiled_passthrough_returns_model(self):
+        from repro.train import build_inference_runner
+        model = _model()
+        assert build_inference_runner(model) is model
+
+    def test_halo_too_large_raises_before_any_forward(self):
+        # dataset coarse grid is 4x8; n_tiles=2 splits the 8-wide axis
+        # into 4-wide cores, so halo=4 cannot fit
+        with pytest.raises(ValueError, match="halo.*tile core"):
+            predict_dataset(_model(), _dataset(), n_tiles=2, halo=4)
+
+    def test_non_divisible_grid_raises_up_front(self):
+        with pytest.raises(ValueError, match="divisible|divide"):
+            predict_dataset(_model(), _dataset(), n_tiles=3)
+
+    def test_global_inference_validates_too(self):
+        rng = np.random.default_rng(7)
+        model = _model()
+        coarse = np.abs(rng.standard_normal((23, 4, 8))).astype(np.float32)
+        norm = ChannelNormalizer.fit(coarse[None])
+        obs = np.abs(rng.standard_normal((16, 32))).astype(np.float32)
+        with pytest.raises(ValueError, match="halo.*tile core"):
+            global_inference(model, coarse, norm, obs, precip_channel=2,
+                             n_tiles=2, halo=4)
+
+
 class TestEvaluateDownscaling:
     def test_perfect_prediction_metrics(self):
         rng = np.random.default_rng(0)
