@@ -6,13 +6,27 @@ microbenchmarks of the fused kernels against their multi-node
 compositions.  Results are written to ``BENCH_engine.json`` at the repo
 root, seeding the perf trajectory.
 
-Two modes:
+Three modes:
 
 * ``--record-baseline`` — measure the engine as-is and store the numbers
   under ``benchmarks/results/BENCH_engine_prepr.json``.  Run once on the
   pre-PR engine so later runs have an honest A/B reference.
-* default — measure the current engine, load the recorded baseline if
-  present, and emit both (plus speedups) to ``BENCH_engine.json``.
+* ``--quick`` — only the eager-vs-compiled A/B rows and their CI gates
+  (see below); writes ``BENCH_compile.json`` and exits non-zero on a
+  failed gate.
+* default — everything: the eager phase timings and micro-ops into
+  ``BENCH_engine.json`` plus the compiled rows into
+  ``BENCH_compile.json``.
+
+The compiled rows time ``CompiledStep`` replay against the eager tape
+walk, strictly interleaved (one loop, A then B each iteration, best-of)
+so OS noise hits both sides equally, and assert bitwise-identical losses
+and post-step parameters while timing — the determinism contract rides
+along with the measurement.  Gates are honest about this machine class:
+replay must reuse the recorded backward closures to stay bit-identical,
+so on kernel-bound configs the ceiling is dispatch overhead only —
+``small`` must clear 1.05x and ``medium`` must not regress below
+0.95x (see DESIGN.md §12 for the kernel-floor experiment).
 
 Wall-clock varies machine to machine, so the *golden* regression gate for
 tier-1 is not this file: deterministic node/copy/allocation counts are
@@ -30,13 +44,14 @@ import numpy as np
 
 from repro.core import ModelConfig, Reslim
 from repro.nn import AdamW
-from repro.tensor import Tensor
+from repro.tensor import CompiledStep, Tensor
 from repro.tensor import functional as F
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 BASELINE_PATH = RESULTS_DIR / "BENCH_engine_prepr.json"
 OUTPUT_PATH = REPO_ROOT / "BENCH_engine.json"
+COMPILE_OUTPUT_PATH = REPO_ROOT / "BENCH_compile.json"
 
 #: the two train-step workloads (config, in_ch, out_ch, factor, coarse hw, batch)
 TRAIN_CONFIGS = {
@@ -45,6 +60,20 @@ TRAIN_CONFIGS = {
     "medium": (ModelConfig("hotpath-medium", embed_dim=64, depth=4, num_heads=8),
                3, 2, 2, (32, 32), 2),
 }
+
+#: eager-vs-compiled A/B rows: ``tiny`` is dispatch-dominated (where
+#: replay wins most), ``medium`` is kernel-dominated (where the bitwise
+#: contract caps the win at dispatch overhead)
+COMPILE_CONFIGS = {
+    "tiny": (ModelConfig("hotpath-tiny", embed_dim=16, depth=1, num_heads=2),
+             2, 1, 2, (16, 16), 1),
+    **TRAIN_CONFIGS,
+}
+
+#: CI gates on the interleaved A/B speedup.  ``small`` must beat eager by
+#: 5%; ``medium`` is a no-regression floor (replay may tie the kernel
+#: floor but must not lose to it).
+COMPILE_GATES = {"small": 1.05, "medium": 0.95}
 
 MICRO_SHAPE = (512, 256)   # (tokens, features) for the elementwise/rowwise ops
 MICRO_CLASSES = 64         # classes for softmax cross-entropy
@@ -118,6 +147,111 @@ def time_train_step(key: str, repeats: int = 5) -> dict[str, float]:
         "optim_s": optim_s,
         "step_s": step_s,
     }
+
+
+# --------------------------------------------------------------------- #
+# eager vs compiled A/B
+# --------------------------------------------------------------------- #
+def time_compiled_vs_eager(key: str, repeats: int = 7,
+                           warmup: int = 2) -> dict:
+    """Interleaved best-of timing of one eager vs one compiled train
+    step, with the bitwise contract asserted on every iteration.
+
+    Two identically seeded model+optimizer pairs step in lockstep: the
+    eager pair walks the tape, the compiled pair replays its plan.  The
+    loop alternates A/B within each iteration so drift and noise cancel,
+    and because replay is bit-identical, both pairs traverse the same
+    parameter trajectory — every timed step runs the same numbers.
+    """
+    config, in_ch, out_ch, factor, (h, w), batch = COMPILE_CONFIGS[key]
+
+    def build():
+        rng = np.random.default_rng(0)
+        model = Reslim(config, in_channels=in_ch, out_channels=out_ch,
+                       factor=factor, max_tokens=4096, rng=rng)
+        return model, AdamW(model.parameters(), lr=1e-3, flatten=True)
+    model_e, opt_e = build()
+    model_c, opt_c = build()
+    step_c = CompiledStep(lambda xt, yt: _mse(model_c(xt), yt))
+
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((batch, in_ch, h, w)).astype(np.float32)
+    y = rng.standard_normal((batch, out_ch, h * factor, w * factor)).astype(np.float32)
+
+    def eager_step() -> float:
+        opt_e.zero_grad()
+        loss = _mse(model_e(Tensor(x)), Tensor(y))
+        loss.backward()
+        opt_e.step()
+        return float(loss.data)
+
+    def compiled_step() -> float:
+        opt_c.zero_grad()
+        out, = step_c(x, y)
+        loss = float(out)
+        opt_c.step()
+        return loss
+
+    compiled_step()  # capture outside the timed region
+    eager_step()     # keep the trajectories aligned
+    best_e = best_c = float("inf")
+    losses_equal = True
+    for i in range(warmup + repeats):
+        t0 = time.perf_counter()
+        le = eager_step()
+        te = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        lc = compiled_step()
+        tc = time.perf_counter() - t0
+        losses_equal = losses_equal and le == lc
+        if i >= warmup:
+            best_e = min(best_e, te)
+            best_c = min(best_c, tc)
+    params_equal = all(
+        np.array_equal(pe.data, pc.data)
+        for pe, pc in zip(model_e.parameters(), model_c.parameters()))
+    step_c.release()
+    return {
+        "eager_step_s": best_e,
+        "compiled_step_s": best_c,
+        "speedup": best_e / best_c if best_c > 0 else float("inf"),
+        "losses_bit_identical": bool(losses_equal),
+        "params_bit_identical": bool(params_equal),
+    }
+
+
+def compile_gates(rows: dict[str, dict]) -> list[str]:
+    """Failed-gate messages for the compiled A/B rows (empty == pass)."""
+    failures = []
+    for key, row in rows.items():
+        if not row["losses_bit_identical"]:
+            failures.append(f"{key}: compiled losses diverged from eager")
+        if not row["params_bit_identical"]:
+            failures.append(f"{key}: compiled params diverged from eager")
+    for key, floor in COMPILE_GATES.items():
+        got = rows[key]["speedup"]
+        if not got >= floor:
+            failures.append(
+                f"{key}: compiled speedup {got:.3f}x below the {floor}x gate")
+    return failures
+
+
+def run_compile_bench(repeats: int = 7) -> tuple[dict, list[str]]:
+    rows = {key: time_compiled_vs_eager(key, repeats=repeats)
+            for key in COMPILE_CONFIGS}
+    payload = {
+        "schema": "bench_engine_compile/v1",
+        "train_step": rows,
+        "gates": {f"{k}_min_speedup": v for k, v in COMPILE_GATES.items()},
+    }
+    COMPILE_OUTPUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    for key, row in rows.items():
+        print(f"[compile] {key:7s} eager {row['eager_step_s'] * 1e3:8.2f} ms  "
+              f"compiled {row['compiled_step_s'] * 1e3:8.2f} ms  "
+              f"{row['speedup']:.2f}x  bitwise="
+              f"{row['losses_bit_identical'] and row['params_bit_identical']}")
+    print(f"wrote {COMPILE_OUTPUT_PATH}")
+    return payload, compile_gates(rows)
 
 
 # --------------------------------------------------------------------- #
@@ -230,6 +364,15 @@ def measure() -> dict:
 
 def main(argv: list[str] | None = None) -> None:
     argv = sys.argv[1:] if argv is None else argv
+    if "--quick" in argv:
+        # compiled A/B rows + gates only (the CI entry point)
+        _, failures = run_compile_bench(repeats=5)
+        for msg in failures:
+            print(f"FAIL: {msg}", file=sys.stderr)
+        if failures:
+            sys.exit(1)
+        print("PASS")
+        return
     measured = measure()
     if "--record-baseline" in argv:
         RESULTS_DIR.mkdir(exist_ok=True)
@@ -258,6 +401,11 @@ def main(argv: list[str] | None = None) -> None:
     print(json.dumps(payload.get("speedup_vs_pre_pr", payload["train_step"]),
                      indent=2))
     print(f"wrote {OUTPUT_PATH}")
+    _, failures = run_compile_bench()
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        sys.exit(1)
 
 
 if __name__ == "__main__":

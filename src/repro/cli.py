@@ -94,6 +94,9 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--quick", action="store_true",
                     help="tiny config, 1 step (CI smoke profile)")
     pr.add_argument("--seed", type=int, default=0)
+    pr.add_argument("--compile", action="store_true",
+                    help="profile the compiled-replay step (engine/capture "
+                         "+ engine/replay spans, bit-identical to eager)")
     pr.add_argument("--trace-out", default="profile_trace.json")
     pr.add_argument("--metrics-out", default=None,
                     help="also dump the flat metrics registry to this path")
@@ -140,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--execute", action="store_true",
                     help="serve a real (tiny) model on synthetic data "
                          "instead of the latency-only scheduler")
+    sv.add_argument("--compile", action="store_true",
+                    help="with --execute: replay a captured forward "
+                         "program per input shape (bit-identical outputs)")
     sv.add_argument("--trace-out", default=None,
                     help="also write the serving timeline as Chrome "
                          "trace JSON")
@@ -322,7 +328,8 @@ def _cmd_profile(args) -> int:
     model = Reslim(config, in_channels=23, out_channels=3, factor=args.factor,
                    max_tokens=4096, rng=np.random.default_rng(args.seed))
     trainer = Trainer(model, ds, TrainConfig(epochs=1, batch_size=2,
-                                             seed=args.seed))
+                                             seed=args.seed),
+                      compile=args.compile)
     batches = list(ds.batches(2))
     trainer.train_step(batches[0])  # warm caches outside the trace
     with Tracer() as tracer:
@@ -453,7 +460,7 @@ def _cmd_serve(args) -> int:
             model, n_replicas=n_replicas,
             gpus_per_replica=args.gpus_per_replica, policy=policy,
             cache=cache, target_normalizer=ds.target_normalizer,
-            config=cfg)
+            config=cfg, compile=args.compile)
         requests = gen.generate(inputs=inputs)
     else:
         service = DownscalingService(

@@ -13,7 +13,7 @@ import numpy as np
 
 from ..nn import Module
 from ..nn.flat import FlatParamBuffer
-from ..tensor import Tensor
+from ..tensor import CompiledStep, Tensor
 from .bucketer import GradBucketer, aligned_ring_chunks
 from .comm import ProcessGroup
 
@@ -73,10 +73,16 @@ class DistributedDataParallel:
         summation order matches the whole-buffer call.
     bucket_bytes:
         Target bucket size when ``overlap`` is on.
+    compile:
+        Run each replica's forward/backward as a
+        :class:`~repro.tensor.compile.CompiledStep` (captured once,
+        replayed while shapes hold).  Bit-identical to the eager path;
+        the bucketed-overlap ready hooks fire from the replay loop.
     """
 
     def __init__(self, replicas: list[Module], group: ProcessGroup, loss_fn,
-                 overlap: bool = False, bucket_bytes: int = 1 << 16):
+                 overlap: bool = False, bucket_bytes: int = 1 << 16,
+                 compile: bool = False):
         if len(replicas) != group.size:
             raise ValueError(f"{len(replicas)} replicas for group of {group.size}")
         self.replicas = replicas
@@ -94,6 +100,9 @@ class DistributedDataParallel:
         self.overlap = overlap
         self.bucketers = ([GradBucketer(buf, bucket_bytes)
                            for buf in self.buffers] if overlap else [])
+        self.compile = bool(compile)
+        self._compiled: list[CompiledStep | None] = [None] * len(replicas)
+        self._active_loss_fn = loss_fn
         self._works: list[tuple[int, int, object]] = []
 
     def forward_backward(self, inputs: np.ndarray, targets: np.ndarray,
@@ -107,15 +116,15 @@ class DistributedDataParallel:
         the reduction of tail buckets runs under the head of backward.
         """
         loss_fn = loss_fn or self.loss_fn
+        self._active_loss_fn = loss_fn
         shards = scatter_batch(inputs, targets, self.group.size)
         if not self.overlap:
             losses = []
-            for model, buf, (x, y) in zip(self.replicas, self.buffers, shards):
+            for r, (model, buf, (x, y)) in enumerate(
+                    zip(self.replicas, self.buffers, shards)):
                 buf.zero_grad()
-                loss = loss_fn(model(Tensor(x)), Tensor(y))
-                loss.backward()
+                losses.append(self._replica_loss(r, x, y, loss_fn))
                 buf.sync_grads()  # no-op unless something detached a .grad view
-                losses.append(float(loss.data))
             return losses
         # bucketed overlap: a bucket is reducible only once every replica
         # produced its gradients, so count per-index readiness across
@@ -131,19 +140,35 @@ class DistributedDataParallel:
                 self._launch_bucket(bucket)
 
         losses = []
-        for model, buf, bucketer, (x, y) in zip(self.replicas, self.buffers,
-                                                self.bucketers, shards):
+        for r, (model, buf, bucketer, (x, y)) in enumerate(
+                zip(self.replicas, self.buffers, self.bucketers, shards)):
             buf.zero_grad()
             bucketer.arm(on_bucket)
             try:
-                loss = loss_fn(model(Tensor(x)), Tensor(y))
-                loss.backward()
+                losses.append(self._replica_loss(r, x, y, loss_fn))
                 bucketer.flush()  # params the tape never reached
             finally:
                 bucketer.disarm()
             buf.sync_grads()
-            losses.append(float(loss.data))
         return losses
+
+    def _replica_loss(self, r: int, x: np.ndarray, y: np.ndarray, loss_fn) -> float:
+        """Forward + backward on replica ``r``; grads land in its buffer."""
+        model = self.replicas[r]
+        if not self.compile:
+            loss = loss_fn(model(Tensor(x)), Tensor(y))
+            loss.backward()
+            return float(loss.data)
+        step = self._compiled[r]
+        if step is None:
+            step = CompiledStep(
+                lambda xt, yt, m=model: self._active_loss_fn(m(xt), yt),
+                guard_extra=lambda m=model: (
+                    id(self._active_loss_fn),
+                    bool(getattr(m, "training", True))))
+            self._compiled[r] = step
+        out, = step(x, y)
+        return float(out)
 
     def _launch_bucket(self, bucket) -> None:
         chunks = aligned_ring_chunks(bucket.lo, bucket.hi,

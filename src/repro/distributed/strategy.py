@@ -52,7 +52,7 @@ from ..nn import Module
 from ..obs.tracer import active_tracer, span
 from ..nn.flat import FlatParamBuffer
 from ..nn.module import Parameter
-from ..tensor import Tensor
+from ..tensor import CompiledStep, Tensor
 from .bucketer import GradBucketer, aligned_ring_chunks
 from .comm import ProcessGroup, VirtualCluster
 from .ddp import DistributedDataParallel, flatten_grads, scatter_batch
@@ -91,10 +91,11 @@ def tile_core_loss(out: Tensor, spec: TileSpec, factor: int,
     top, left = (spec.y0 - spec.hy0) * factor, (spec.x0 - spec.hx0) * factor
     ch, cw = spec.core_shape
     core = out[:, :, top: top + ch * factor, left: left + cw * factor]
-    tile_target = Tensor(
-        targets[:, :, spec.y0 * factor: spec.y1 * factor,
+    # Tensor targets slice through the graph (a view getitem) so compiled
+    # steps see the target as a live input instead of a frozen constant
+    sel = np.s_[:, :, spec.y0 * factor: spec.y1 * factor,
                 spec.x0 * factor: spec.x1 * factor]
-    )
+    tile_target = targets[sel] if isinstance(targets, Tensor) else Tensor(targets[sel])
     if getattr(loss_fn, "tile_aware", False):
         return loss_fn(core, tile_target, spec)
     return loss_fn(core, tile_target)
@@ -250,17 +251,19 @@ class DDPStrategy(ParallelStrategy):
     trainable = True
 
     def __init__(self, loss_fn, overlap: bool = False,
-                 bucket_bytes: int = 1 << 16):
+                 bucket_bytes: int = 1 << 16, compile: bool = False):
         self.loss_fn = loss_fn
         self.overlap = overlap
         self.bucket_bytes = bucket_bytes
+        self.compile = bool(compile)
 
     def setup(self, model_factory, group: ProcessGroup) -> None:
         self.group = group
         replicas = [model_factory(r) for r in range(group.size)]
         self.engine = DistributedDataParallel(replicas, group, self.loss_fn,
                                               overlap=self.overlap,
-                                              bucket_bytes=self.bucket_bytes)
+                                              bucket_bytes=self.bucket_bytes,
+                                              compile=self.compile)
 
     def forward(self, inputs) -> np.ndarray:
         shards = np.array_split(inputs, self.group.size)
@@ -716,13 +719,18 @@ class CompositeStrategy(ParallelStrategy):
 
     def __init__(self, plan: CompositePlan, loss_fn,
                  halo: int = 2, factor: int = 2, overlap: bool = False,
-                 bucket_bytes: int = 1 << 16):
+                 bucket_bytes: int = 1 << 16, compile: bool = False,
+                 compile_guard=None):
         self.plan = plan
         self.loss_fn = loss_fn
         self.halo = halo
         self.factor = factor
         self.overlap = overlap
         self.bucket_bytes = bucket_bytes
+        self.compile = bool(compile)
+        self._compile_guard = compile_guard
+        self._compiled: dict[tuple[int, int], CompiledStep] = {}
+        self._active_loss_fn = loss_fn
         self.steps = 0
 
     # ------------------------------------------------------------------ #
@@ -797,6 +805,7 @@ class CompositeStrategy(ParallelStrategy):
     def forward_backward(self, inputs: np.ndarray, targets: np.ndarray,
                          loss_fn=None) -> list[float]:
         loss_fn = loss_fn or self.loss_fn
+        self._active_loss_fn = loss_fn
         plan = self.plan
         if inputs.shape[0] != plan.ddp:
             raise ValueError(
@@ -817,24 +826,64 @@ class CompositeStrategy(ParallelStrategy):
                     bucketer.arm(lambda bucket, d=d, t=t:
                                  self._on_bucket_ready(d, t, bucket))
                 try:
-                    if specs is None:
-                        out = unit(x)
-                        loss = loss_fn(out, Tensor(targets[d: d + 1]))
+                    if self.compile:
+                        loss_data, out_data = self._compiled_step(d, t)(
+                            inputs[d: d + 1], targets[d: d + 1])
+                        loss_val, out_nbytes = float(loss_data), out_data.nbytes
                     else:
-                        spec = specs[t]
-                        out = unit(extract_tile(x, spec))
-                        loss = tile_core_loss(out, spec, self.factor,
-                                              targets[d: d + 1], loss_fn)
-                    loss.backward()
+                        if specs is None:
+                            out = unit(x)
+                            loss = loss_fn(out, Tensor(targets[d: d + 1]))
+                        else:
+                            spec = specs[t]
+                            out = unit(extract_tile(x, spec))
+                            loss = tile_core_loss(out, spec, self.factor,
+                                                  targets[d: d + 1], loss_fn)
+                        loss.backward()
+                        loss_val, out_nbytes = float(loss.data), out.data.nbytes
                     if bucketer is not None:
                         bucketer.flush()
                 finally:
                     if bucketer is not None:
                         bucketer.disarm()
                 buf.sync_grads()
-                self._record_tp_traffic(unit, out.data.nbytes, d, t)
-                losses.append(float(loss.data))
+                self._record_tp_traffic(unit, out_nbytes, d, t)
+                losses.append(loss_val)
         return losses
+
+    # ------------------------------------------------------------------ #
+    # compiled per-(d, t) steps
+    # ------------------------------------------------------------------ #
+    def _compiled_step(self, d: int, t: int) -> CompiledStep:
+        step = self._compiled.get((d, t))
+        if step is None:
+            step = CompiledStep(self._make_tile_fn(d, t),
+                                guard_extra=self._guard_key)
+            self._compiled[(d, t)] = step
+        return step
+
+    def _guard_key(self):
+        extra = self._compile_guard() if self._compile_guard is not None else None
+        return (id(self._active_loss_fn),
+                bool(getattr(self._units[0], "training", True)), extra)
+
+    def _make_tile_fn(self, d: int, t: int):
+        """Step function for one unit's tile: loss first (backward root),
+        then the tile output (its nbytes feed the TP traffic model)."""
+
+        def fn(xt: Tensor, yt: Tensor):
+            loss_fn = self._active_loss_fn
+            if self.plan.tiles == 1:
+                out = self._unit(d, t)(xt)
+                loss = loss_fn(out, yt)
+            else:
+                h, w = xt.shape[-2:]
+                spec = make_tiles(h, w, self.plan.tiles, self.halo)[t]
+                out = self._unit(d, t)(extract_tile(xt, spec))
+                loss = tile_core_loss(out, spec, self.factor, yt, loss_fn)
+            return loss, out
+
+        return fn
 
     # ------------------------------------------------------------------ #
     # backward-driven overlapped reduction (phases 1-2 under backward)

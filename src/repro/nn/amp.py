@@ -101,7 +101,10 @@ class Bf16Cast(Module):
         def backward(g):
             return ((a, g),)
 
-        return Tensor._from_op(out, (a,), backward, "bf16_cast")
+        def replay():
+            np.copyto(out, bf16_round(a.data))
+
+        return Tensor._from_op(out, (a,), backward, "bf16_cast", replay=replay)
 
 
 def autocast_module(module: Module) -> None:

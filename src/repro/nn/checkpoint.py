@@ -50,7 +50,15 @@ def checkpoint(fn, *inputs: Tensor, params: list[Tensor] | None = None) -> Tenso
         grads.extend((p, None) for p in params)  # already accumulated
         return tuple(grads)
 
-    return Tensor._from_op(out_data.copy(), inputs + params, backward, "checkpoint")
+    node_data = out_data.copy()
+
+    def replay():
+        # opaque region: re-run fn eagerly (no graph) against the live
+        # input buffers; backward rematerializes a fresh subgraph anyway
+        with no_grad():
+            np.copyto(node_data, fn(*[Tensor(t.data) for t in inputs]).data)
+
+    return Tensor._from_op(node_data, inputs + params, backward, "checkpoint", replay=replay)
 
 
 class CheckpointedSequential(Module):

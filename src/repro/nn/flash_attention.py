@@ -70,27 +70,30 @@ def flash_attention(
     # instead of an O(L^2) `s *= sc` pass per block pair.
     qsc = qd * sc
     kdT = np.swapaxes(kd, -1, -2)
-    for i0 in range(0, lq, bs):
-        i1 = min(i0 + bs, lq)
-        qi = qsc[:, i0:i1]  # (nb, bq, d), pre-scaled
-        m = np.full((nb, i1 - i0), -np.inf, dtype=np.float32)
-        l = np.zeros((nb, i1 - i0), dtype=np.float32)
-        acc = np.zeros((nb, i1 - i0, d), dtype=np.float32)
-        for j0 in range(0, lk, bs):
-            j1 = min(j0 + bs, lk)
-            s = qi @ kdT[:, :, j0:j1]  # fresh buffer, reused as p below
-            m_new = np.maximum(m, s.max(axis=-1))
-            correction = np.exp(m - m_new)
-            np.subtract(s, m_new[..., None], out=s)
-            np.exp(s, out=s)  # s is now the unnormalised probabilities p
-            l *= correction
-            l += s.sum(axis=-1)
-            acc *= correction[..., None]
-            acc += s @ vd[:, j0:j1]
-            m = m_new
-        np.divide(acc, l[..., None], out=out[:, i0:i1])
-        lse[:, i0:i1] = m + np.log(l)
 
+    def run_blocks():
+        for i0 in range(0, lq, bs):
+            i1 = min(i0 + bs, lq)
+            qi = qsc[:, i0:i1]  # (nb, bq, d), pre-scaled
+            m = np.full((nb, i1 - i0), -np.inf, dtype=np.float32)
+            l = np.zeros((nb, i1 - i0), dtype=np.float32)
+            acc = np.zeros((nb, i1 - i0, d), dtype=np.float32)
+            for j0 in range(0, lk, bs):
+                j1 = min(j0 + bs, lk)
+                s = qi @ kdT[:, :, j0:j1]  # fresh buffer, reused as p below
+                m_new = np.maximum(m, s.max(axis=-1))
+                correction = np.exp(m - m_new)
+                np.subtract(s, m_new[..., None], out=s)
+                np.exp(s, out=s)  # s is now the unnormalised probabilities p
+                l *= correction
+                l += s.sum(axis=-1)
+                acc *= correction[..., None]
+                acc += s @ vd[:, j0:j1]
+                m = m_new
+            np.divide(acc, l[..., None], out=out[:, i0:i1])
+            lse[:, i0:i1] = m + np.log(l)
+
+    run_blocks()
     out_full = out.reshape(*batch_shape, lq, d)
 
     def backward(g):
@@ -129,7 +132,23 @@ def flash_attention(
             (v, dv.reshape(v.shape)),
         )
 
-    return Tensor._from_op(out_full, (q, k, v), backward, "flash_attention")
+    # qd/kd/vd are reshape *copies* when the parent data is non-contiguous;
+    # replay must refill them from the live parent buffers before re-running
+    # the block loop (views track the parent automatically and are skipped).
+    _refresh = [
+        (buf, t, shape)
+        for buf, t, shape in ((qd, q, (-1, lq, d)), (kd, k, (-1, lk, d)), (vd, v, (-1, lk, d)))
+        if not np.shares_memory(buf, t.data)
+    ]
+
+    def replay():
+        for buf, t, shape in _refresh:
+            np.copyto(buf, t.data.reshape(shape))
+        np.multiply(qd, sc, out=qsc)
+        add_flops(4.0 * nb * lq * lk * d)
+        run_blocks()
+
+    return Tensor._from_op(out_full, (q, k, v), backward, "flash_attention", replay=replay)
 
 
 def attention_flop_count(seq_len: int, head_dim: int, num_heads: int, batch: int = 1) -> int:

@@ -202,7 +202,8 @@ class DownscalingService:
                  coarse_shape: tuple[int, int] | None = None,
                  service_time=None, config=None,
                  tokens_per_sample: int = 4096,
-                 hit_latency_s: float = 1.0e-4):
+                 hit_latency_s: float = 1.0e-4,
+                 compile: bool = False):
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
         if hit_latency_s < 0.0:
@@ -223,7 +224,7 @@ class DownscalingService:
             model.eval()
             self._runner = build_inference_runner(
                 model, n_tiles=n_tiles, halo=halo, factor=factor,
-                coarse_shape=coarse_shape)
+                coarse_shape=coarse_shape, compile=compile)
         self._target_normalizer = target_normalizer
         if service_time is not None:
             self.service_time = service_time

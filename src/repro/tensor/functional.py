@@ -54,7 +54,12 @@ def softmax(x: Tensor, axis: int = -1) -> Tensor:
         dot = (g * s).sum(axis=axis, keepdims=True)
         return ((a, s * (g - dot)),)
 
-    return Tensor._from_op(s, (a,), backward, "softmax")
+    def replay():
+        np.subtract(a.data, a.data.max(axis=axis, keepdims=True), out=s)
+        np.exp(s, out=s)
+        np.divide(s, s.sum(axis=axis, keepdims=True), out=s)
+
+    return Tensor._from_op(s, (a,), backward, "softmax", replay=replay)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
@@ -68,7 +73,13 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     def backward(g):
         return ((a, g - s * g.sum(axis=axis, keepdims=True)),)
 
-    return Tensor._from_op(out, (a,), backward, "log_softmax")
+    def replay():
+        np.subtract(a.data, a.data.max(axis=axis, keepdims=True), out=out)
+        logsum = np.log(np.exp(out).sum(axis=axis, keepdims=True))
+        np.subtract(out, logsum, out=out)
+        np.exp(out, out=s)
+
+    return Tensor._from_op(out, (a,), backward, "log_softmax", replay=replay)
 
 
 def gelu(x: Tensor) -> Tensor:
@@ -98,7 +109,16 @@ def gelu(x: Tensor) -> Tensor:
         t *= g
         return ((a, t),)
 
-    return Tensor._from_op(a.data * phi, (a,), backward, "gelu")
+    out_data = a.data * phi
+
+    def replay():
+        np.multiply(a.data, np.float32(1.0 / np.sqrt(2.0)), out=phi)
+        special.erf(phi, out=phi)
+        np.add(phi, 1.0, out=phi)
+        np.multiply(phi, 0.5, out=phi)
+        np.multiply(a.data, phi, out=out_data)
+
+    return Tensor._from_op(out_data, (a,), backward, "gelu", replay=replay)
 
 
 def gelu_composed(x: Tensor) -> Tensor:
@@ -118,7 +138,16 @@ def silu(x: Tensor) -> Tensor:
     def backward(g):
         return ((a, g * (s * (1.0 + a.data * (1.0 - s)))),)
 
-    return Tensor._from_op(a.data * s, (a,), backward, "silu")
+    out_data = a.data * s
+
+    def replay():
+        np.negative(a.data, out=s)
+        np.exp(s, out=s)
+        np.add(s, 1.0, out=s)
+        np.divide(1.0, s, out=s)
+        np.multiply(a.data, s, out=out_data)
+
+    return Tensor._from_op(out_data, (a,), backward, "silu", replay=replay)
 
 
 def silu_composed(x: Tensor) -> Tensor:
@@ -154,7 +183,18 @@ def layernorm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Ten
         gb = _unbroadcast(g.sum(axis=red_axes), b.shape)
         return ((a, gx.astype(np.float32)), (w, gw), (b, gb))
 
-    return Tensor._from_op(out.astype(np.float32), (a, w, b), backward, "layernorm")
+    out_data = out.astype(np.float32)
+
+    def replay():
+        mu = a.data.mean(axis=-1, keepdims=True, dtype=np.float32)
+        centered = a.data - mu
+        var = np.mean(centered * centered, axis=-1, keepdims=True, dtype=np.float32)
+        np.divide(1.0, np.sqrt(var + np.float32(eps)), out=inv)
+        np.multiply(centered, inv, out=xhat)
+        np.multiply(xhat, w.data, out=out_data)
+        np.add(out_data, b.data, out=out_data)
+
+    return Tensor._from_op(out_data, (a, w, b), backward, "layernorm", replay=replay)
 
 
 def layernorm_composed(x: Tensor, weight: Tensor, bias: Tensor,
@@ -198,7 +238,18 @@ def softmax_cross_entropy(logits: Tensor, labels: np.ndarray, axis: int = -1,
         scale = g / n if reduction == "mean" else g
         return ((a, (ds * scale).astype(np.float32)),)
 
-    return Tensor._from_op(np.float32(loss), (a,), backward, "softmax_xent")
+    out_data = np.asarray(np.float32(loss))
+
+    def replay():
+        # labels are a captured constant (non-Tensor argument); only the
+        # logits vary between replays
+        shifted = a.data - a.data.max(axis=axis, keepdims=True)
+        logsum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        np.subtract(shifted, logsum, out=logp)
+        total = -np.take_along_axis(logp, idx, axis=axis).sum(dtype=np.float32)
+        out_data[...] = total / np.float32(n) if reduction == "mean" else total
+
+    return Tensor._from_op(out_data, (a,), backward, "softmax_xent", replay=replay)
 
 
 def softmax_cross_entropy_composed(logits: Tensor, labels: np.ndarray,
@@ -247,7 +298,13 @@ def linear(x: Tensor, weight: Tensor, bias: Tensor | None = None) -> Tensor:
             grads.append((bias, g2.sum(axis=0)))
         return tuple(grads)
 
-    return Tensor._from_op(out, parents, backward, "linear")
+    def replay():
+        np.matmul(a.data, w.data.T, out=out)
+        add_flops(2.0 * out.size * in_f)
+        if bias is not None:
+            np.add(out, bias.data, out=out)
+
+    return Tensor._from_op(out, parents, backward, "linear", replay=replay)
 
 
 def add_bias(x: Tensor, bias: Tensor) -> Tensor:
@@ -257,11 +314,13 @@ def add_bias(x: Tensor, bias: Tensor) -> Tensor:
     hands the upstream gradient through to ``x`` zero-copy.
     """
     a, b = x, bias
+    out_data = a.data + b.data
 
     def backward(g):
         return ((a, g), (b, _unbroadcast(g, b.shape)))
 
-    return Tensor._from_op(a.data + b.data, (a, b), backward, "add_bias")
+    return Tensor._from_op(out_data, (a, b), backward, "add_bias",
+                           replay=lambda: np.add(a.data, b.data, out=out_data))
 
 
 # --------------------------------------------------------------------- #
@@ -308,7 +367,10 @@ def bilinear_upsample(x: Tensor, out_h: int, out_w: int) -> Tensor:
         np.add.at(gx, (slice(None), slice(None), yhi, slice(None)), g_rows * wy[:, None])
         return ((a, gx),)
 
-    return Tensor._from_op(out_data, (a,), backward, "bilinear")
+    def replay():
+        np.copyto(out_data, interp(a.data))
+
+    return Tensor._from_op(out_data, (a,), backward, "bilinear", replay=replay)
 
 
 def pixel_shuffle(x: Tensor, factor: int) -> Tensor:
@@ -401,6 +463,12 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
     from .flops import add_flops
 
     cols = im2col(a.data, k, stride, pad)  # (N, C*k*k, L)
+    # k=1 lets im2col return a view: of a.data (self-refreshing on
+    # replay) or, when padded, of a throwaway temp — the latter is
+    # read-only AND stale, so take ownership up front
+    cols_live = np.shares_memory(cols, a.data)
+    if not cols_live and not cols.flags.writeable:
+        cols = cols.copy()
     w2 = wgt.data.reshape(out_c, in_c * k * k)
     conv_macs = float(n) * out_c * out_h * out_w * in_c * k * k
     add_flops(2.0 * conv_macs)
@@ -422,7 +490,20 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None, stride: int = 1, pad:
             grads.append((bias, g.sum(axis=(0, 2, 3))))
         return tuple(grads)
 
-    return Tensor._from_op(out, parents, backward, "conv2d")
+    def replay():
+        # the backward closure reads ``cols`` (saved patches) and ``w2``
+        # (a view of the live weights): refresh cols and the output buffer
+        if not cols_live:
+            np.copyto(cols, im2col(a.data, k, stride, pad))
+        add_flops(2.0 * conv_macs)
+        fresh = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+        fresh = fresh.reshape(n, out_c, out_h, out_w)
+        if bias is not None:
+            np.add(fresh, bias.data.reshape(1, out_c, 1, 1), out=out)
+        else:
+            np.copyto(out, fresh)
+
+    return Tensor._from_op(out, parents, backward, "conv2d", replay=replay)
 
 
 def avg_pool2d(x: Tensor, k: int) -> Tensor:

@@ -32,10 +32,12 @@ import numpy as np
 __all__ = [
     "Tensor",
     "no_grad",
+    "enable_grad",
     "is_grad_enabled",
     "graph_counters",
     "reset_graph_counters",
     "set_op_hook",
+    "set_recorder",
 ]
 
 _state = threading.local()
@@ -52,15 +54,36 @@ def set_op_hook(hook) -> None:
     global _op_hook
     _op_hook = hook
 
+
+#: Optional tape recorder (see :mod:`repro.tensor.compile`).  While set,
+#: every op constructed with grad enabled reports
+#: ``(out, parents, op, replay)`` so a :class:`CompiledStep` can serialize
+#: the forward program.  ``replay`` is either ``"view"`` (the output
+#: aliases its parent's buffer and needs no recompute), a zero-argument
+#: thunk that refreshes the op's saved buffers in place from its parents'
+#: current ``.data``, or None for ops that cannot be replayed.
+_recorder = None
+
+
+def set_recorder(recorder) -> None:
+    """Install (or clear, with None) the tape recorder used for capture."""
+    global _recorder
+    _recorder = recorder
+
 #: Deterministic accounting of graph construction and backward-pass memory
 #: traffic.  Unlike wall-clock these counts are machine-independent, so the
 #: golden regression test pins them to catch copy/allocation regressions.
+#: ``arena_bytes`` is a gauge (live compiled-arena bytes), not a counter.
 _COUNTERS = {
     "nodes": 0,            # tape nodes recorded by _from_op
     "bwd_inplace_adds": 0,  # accumulations done with np.add(..., out=)
     "bwd_new_buffers": 0,   # fresh arrays allocated during the walk
     "bwd_handoffs": 0,      # parent grads stored by reference (zero-copy)
     "leaf_copies": 0,       # copies made when materialising leaf .grad
+    "captures": 0,          # CompiledStep tape captures (incl. recaptures)
+    "replays": 0,           # CompiledStep program replays (no tape built)
+    "guard_misses": 0,      # shape/dtype/flag guard failures -> recapture
+    "arena_bytes": 0,       # live bytes held by compiled activation arenas
 }
 
 
@@ -70,9 +93,15 @@ def graph_counters() -> dict[str, int]:
 
 
 def reset_graph_counters() -> None:
-    """Zero all engine counters (call before a measured region)."""
+    """Zero all engine counters (call before a measured region).
+
+    ``arena_bytes`` is exempt: it is a gauge of currently-live compiled
+    arenas, decremented when a plan is released, so zeroing it while
+    plans are alive would corrupt the accounting.
+    """
     for key in _COUNTERS:
-        _COUNTERS[key] = 0
+        if key != "arena_bytes":
+            _COUNTERS[key] = 0
 
 
 def is_grad_enabled() -> bool:
@@ -85,6 +114,22 @@ def no_grad():
     """Context manager disabling graph construction (inference mode)."""
     prev = is_grad_enabled()
     _state.grad_enabled = False
+    try:
+        yield
+    finally:
+        _state.grad_enabled = prev
+
+
+@contextlib.contextmanager
+def enable_grad():
+    """Context manager re-enabling graph construction inside ``no_grad``.
+
+    Used by :class:`repro.tensor.compile.CompiledStep` so a forward-only
+    capture still records the tape even when the caller wrapped inference
+    in ``no_grad()``.
+    """
+    prev = is_grad_enabled()
+    _state.grad_enabled = True
     try:
         yield
     finally:
@@ -165,9 +210,11 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
         op: str,
+        replay=None,
     ) -> "Tensor":
         out = cls(data)
-        if is_grad_enabled() and any(p.requires_grad for p in parents):
+        grad_enabled = is_grad_enabled()
+        if grad_enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
@@ -175,6 +222,10 @@ class Tensor:
             _COUNTERS["nodes"] += 1
             if _op_hook is not None:
                 _op_hook(op, data, tuple(p.data for p in parents))
+        if _recorder is not None and grad_enabled:
+            # capture records *every* op (even ones with no grad-requiring
+            # parent): input-only chains must still be refreshed on replay
+            _recorder.record(out, tuple(parents), op, replay)
         return out
 
     @staticmethod
@@ -358,22 +409,28 @@ class Tensor:
     def __add__(self, other) -> "Tensor":
         other = self._coerce(other)
         a, b = self, other
+        # asarray: 0-d operands make the ufunc return a scalar, but the
+        # replay thunk needs a real array to write into (free for ndarray)
+        out_data = np.asarray(a.data + b.data)
 
         def backward(g):
             return ((a, _unbroadcast(g, a.shape)), (b, _unbroadcast(g, b.shape)))
 
-        return Tensor._from_op(a.data + b.data, (a, b), backward, "add")
+        return Tensor._from_op(out_data, (a, b), backward, "add",
+                               replay=lambda: np.add(a.data, b.data, out=out_data))
 
     __radd__ = __add__
 
     def __sub__(self, other) -> "Tensor":
         other = self._coerce(other)
         a, b = self, other
+        out_data = np.asarray(a.data - b.data)
 
         def backward(g):
             return ((a, _unbroadcast(g, a.shape)), (b, _unbroadcast(-g, b.shape)))
 
-        return Tensor._from_op(a.data - b.data, (a, b), backward, "sub")
+        return Tensor._from_op(out_data, (a, b), backward, "sub",
+                               replay=lambda: np.subtract(a.data, b.data, out=out_data))
 
     def __rsub__(self, other) -> "Tensor":
         return self._coerce(other) - self
@@ -382,13 +439,16 @@ class Tensor:
         other = self._coerce(other)
         a, b = self, other
 
+        out_data = np.asarray(a.data * b.data)
+
         def backward(g):
             return (
                 (a, _unbroadcast(g * b.data, a.shape)),
                 (b, _unbroadcast(g * a.data, b.shape)),
             )
 
-        return Tensor._from_op(a.data * b.data, (a, b), backward, "mul")
+        return Tensor._from_op(out_data, (a, b), backward, "mul",
+                               replay=lambda: np.multiply(a.data, b.data, out=out_data))
 
     __rmul__ = __mul__
 
@@ -396,42 +456,49 @@ class Tensor:
         other = self._coerce(other)
         a, b = self, other
 
+        out_data = np.asarray(a.data / b.data)
+
         def backward(g):
             return (
                 (a, _unbroadcast(g / b.data, a.shape)),
                 (b, _unbroadcast(-g * a.data / (b.data * b.data), b.shape)),
             )
 
-        return Tensor._from_op(a.data / b.data, (a, b), backward, "div")
+        return Tensor._from_op(out_data, (a, b), backward, "div",
+                               replay=lambda: np.divide(a.data, b.data, out=out_data))
 
     def __rtruediv__(self, other) -> "Tensor":
         return self._coerce(other) / self
 
     def __neg__(self) -> "Tensor":
         a = self
+        out_data = np.asarray(-a.data)
 
         def backward(g):
             return ((a, -g),)
 
-        return Tensor._from_op(-a.data, (a,), backward, "neg")
+        return Tensor._from_op(out_data, (a,), backward, "neg",
+                               replay=lambda: np.negative(a.data, out=out_data))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
         a = self
         p = float(exponent)
+        out_data = np.asarray(np.power(a.data, p))
 
         def backward(g):
             return ((a, g * p * np.power(a.data, p - 1.0)),)
 
-        return Tensor._from_op(np.power(a.data, p), (a,), backward, "pow")
+        return Tensor._from_op(out_data, (a,), backward, "pow",
+                               replay=lambda: np.power(a.data, p, out=out_data))
 
     def __matmul__(self, other) -> "Tensor":
         from .flops import add_flops
 
         other = self._coerce(other)
         a, b = self, other
-        out_data = a.data @ b.data
+        out_data = np.asarray(a.data @ b.data)
         k = a.data.shape[-1]
         add_flops(2.0 * out_data.size * k)
 
@@ -441,97 +508,131 @@ class Tensor:
             gb = np.swapaxes(a.data, -1, -2) @ g
             return ((a, _unbroadcast(ga, a.shape)), (b, _unbroadcast(gb, b.shape)))
 
-        return Tensor._from_op(out_data, (a, b), backward, "matmul")
+        def replay():
+            np.matmul(a.data, b.data, out=out_data)
+            add_flops(2.0 * out_data.size * k)
+
+        return Tensor._from_op(out_data, (a, b), backward, "matmul", replay=replay)
 
     # ------------------------------------------------------------------ #
     # elementwise transcendental
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
         a = self
-        out_data = np.exp(a.data)
+        out_data = np.asarray(np.exp(a.data))
 
         def backward(g):
             return ((a, g * out_data),)
 
-        return Tensor._from_op(out_data, (a,), backward, "exp")
+        return Tensor._from_op(out_data, (a,), backward, "exp",
+                               replay=lambda: np.exp(a.data, out=out_data))
 
     def log(self) -> "Tensor":
         a = self
+        out_data = np.asarray(np.log(a.data))
 
         def backward(g):
             return ((a, g / a.data),)
 
-        return Tensor._from_op(np.log(a.data), (a,), backward, "log")
+        return Tensor._from_op(out_data, (a,), backward, "log",
+                               replay=lambda: np.log(a.data, out=out_data))
 
     def sqrt(self) -> "Tensor":
         a = self
-        out_data = np.sqrt(a.data)
+        out_data = np.asarray(np.sqrt(a.data))
 
         def backward(g):
             return ((a, g * 0.5 / np.maximum(out_data, 1e-12)),)
 
-        return Tensor._from_op(out_data, (a,), backward, "sqrt")
+        return Tensor._from_op(out_data, (a,), backward, "sqrt",
+                               replay=lambda: np.sqrt(a.data, out=out_data))
 
     def tanh(self) -> "Tensor":
         a = self
-        out_data = np.tanh(a.data)
+        out_data = np.asarray(np.tanh(a.data))
 
         def backward(g):
             return ((a, g * (1.0 - out_data * out_data)),)
 
-        return Tensor._from_op(out_data, (a,), backward, "tanh")
+        return Tensor._from_op(out_data, (a,), backward, "tanh",
+                               replay=lambda: np.tanh(a.data, out=out_data))
 
     def sigmoid(self) -> "Tensor":
         a = self
         out_data = 1.0 / (1.0 + np.exp(-a.data))
+        data = out_data.astype(np.float32)
 
         def backward(g):
             return ((a, g * out_data * (1.0 - out_data)),)
 
-        return Tensor._from_op(out_data.astype(np.float32), (a,), backward, "sigmoid")
+        def replay():
+            # the closure reads the pre-astype buffer and node.data is the
+            # astype copy: refresh both (elementwise-identical sequence)
+            np.negative(a.data, out=out_data)
+            np.exp(out_data, out=out_data)
+            np.add(out_data, 1.0, out=out_data)
+            np.divide(1.0, out_data, out=out_data)
+            np.copyto(data, out_data)
+
+        return Tensor._from_op(data, (a,), backward, "sigmoid", replay=replay)
 
     def erf(self) -> "Tensor":
         from scipy import special
 
         a = self
-        out_data = special.erf(a.data).astype(np.float32)
+        out_data = np.asarray(special.erf(a.data), dtype=np.float32)
         coeff = np.float32(2.0 / np.sqrt(np.pi))
 
         def backward(g):
             return ((a, g * coeff * np.exp(-a.data * a.data)),)
 
-        return Tensor._from_op(out_data, (a,), backward, "erf")
+        return Tensor._from_op(out_data, (a,), backward, "erf",
+                               replay=lambda: special.erf(a.data, out=out_data))
 
     def abs(self) -> "Tensor":
         a = self
+        out_data = np.asarray(np.abs(a.data))
 
         def backward(g):
             return ((a, g * np.sign(a.data)),)
 
-        return Tensor._from_op(np.abs(a.data), (a,), backward, "abs")
+        return Tensor._from_op(out_data, (a,), backward, "abs",
+                               replay=lambda: np.abs(a.data, out=out_data))
 
     def relu(self) -> "Tensor":
         a = self
-        mask = a.data > 0
+        mask = np.asarray(a.data > 0)
+        out_data = np.asarray(a.data * mask)
 
         def backward(g):
             return ((a, g * mask),)
 
-        return Tensor._from_op(a.data * mask, (a,), backward, "relu")
+        def replay():
+            np.greater(a.data, 0, out=mask)
+            np.multiply(a.data, mask, out=out_data)
+
+        return Tensor._from_op(out_data, (a,), backward, "relu", replay=replay)
 
     def clip(self, lo: float, hi: float) -> "Tensor":
         a = self
-        mask = (a.data >= lo) & (a.data <= hi)
+        mask = np.asarray((a.data >= lo) & (a.data <= hi))
+        out_data = np.asarray(np.clip(a.data, lo, hi))
 
         def backward(g):
             return ((a, g * mask),)
 
-        return Tensor._from_op(np.clip(a.data, lo, hi), (a,), backward, "clip")
+        def replay():
+            np.greater_equal(a.data, lo, out=mask)
+            np.logical_and(mask, a.data <= hi, out=mask)
+            np.clip(a.data, lo, hi, out=out_data)
+
+        return Tensor._from_op(out_data, (a,), backward, "clip", replay=replay)
 
     def maximum(self, other) -> "Tensor":
         other = self._coerce(other)
         a, b = self, other
-        take_a = a.data >= b.data
+        take_a = np.asarray(a.data >= b.data)
+        out_data = np.asarray(np.maximum(a.data, b.data))
 
         def backward(g):
             return (
@@ -539,14 +640,19 @@ class Tensor:
                 (b, _unbroadcast(g * ~take_a, b.shape)),
             )
 
-        return Tensor._from_op(np.maximum(a.data, b.data), (a, b), backward, "maximum")
+        def replay():
+            np.greater_equal(a.data, b.data, out=take_a)
+            np.maximum(a.data, b.data, out=out_data)
+
+        return Tensor._from_op(out_data, (a, b), backward, "maximum", replay=replay)
 
     # ------------------------------------------------------------------ #
     # reductions
     # ------------------------------------------------------------------ #
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         a = self
-        out_data = a.data.sum(axis=axis, keepdims=keepdims, dtype=np.float32)
+        out_data = np.asarray(a.data.sum(axis=axis, keepdims=keepdims,
+                                         dtype=np.float32), dtype=np.float32)
 
         def backward(g):
             g_full = g
@@ -556,7 +662,11 @@ class Tensor:
             # mutates it, and leaves materialise it in a single copy
             return ((a, np.broadcast_to(g_full, a.shape)),)
 
-        return Tensor._from_op(np.asarray(out_data, dtype=np.float32), (a,), backward, "sum")
+        def replay():
+            np.sum(a.data, axis=axis, dtype=np.float32, out=out_data,
+                   keepdims=keepdims)
+
+        return Tensor._from_op(out_data, (a,), backward, "sum", replay=replay)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         a = self
@@ -571,7 +681,8 @@ class Tensor:
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
         a = self
-        out_data = a.data.max(axis=axis, keepdims=keepdims)
+        out_data = np.asarray(a.data.max(axis=axis, keepdims=keepdims),
+                              dtype=np.float32)
 
         def backward(g):
             g_full = g
@@ -584,7 +695,10 @@ class Tensor:
             denom = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
             return ((a, g_full * mask / np.maximum(denom, 1.0)),)
 
-        return Tensor._from_op(np.asarray(out_data, dtype=np.float32), (a,), backward, "max")
+        def replay():
+            np.amax(a.data, axis=axis, out=out_data, keepdims=keepdims)
+
+        return Tensor._from_op(out_data, (a,), backward, "max", replay=replay)
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         mu = self.mean(axis=axis, keepdims=True)
@@ -600,11 +714,19 @@ class Tensor:
             shape = tuple(shape[0])
         a = self
         orig = a.data.shape
+        out_data = a.data.reshape(shape)
 
         def backward(g):
             return ((a, g.reshape(orig)),)
 
-        return Tensor._from_op(a.data.reshape(shape), (a,), backward, "reshape")
+        # a contiguous source reshapes to a view (nothing to replay);
+        # otherwise NumPy copied and replay re-fills it through a view of
+        # the output in the source's shape — one strided pass, no alloc.
+        # NB: a reshape *copy* still carries .base (the flattened temp),
+        # so view-ness must be decided by actual memory sharing
+        replay = "view" if np.shares_memory(out_data, a.data) else \
+            (lambda: np.copyto(out_data.reshape(orig), a.data))
+        return Tensor._from_op(out_data, (a,), backward, "reshape", replay=replay)
 
     def transpose(self, axis0: int, axis1: int) -> "Tensor":
         a = self
@@ -612,7 +734,8 @@ class Tensor:
         def backward(g):
             return ((a, np.swapaxes(g, axis0, axis1)),)
 
-        return Tensor._from_op(np.swapaxes(a.data, axis0, axis1), (a,), backward, "transpose")
+        return Tensor._from_op(np.swapaxes(a.data, axis0, axis1), (a,), backward,
+                               "transpose", replay="view")
 
     def permute(self, *axes: int) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
@@ -623,11 +746,12 @@ class Tensor:
         def backward(g):
             return ((a, np.transpose(g, inverse)),)
 
-        return Tensor._from_op(np.transpose(a.data, axes), (a,), backward, "permute")
+        return Tensor._from_op(np.transpose(a.data, axes), (a,), backward,
+                               "permute", replay="view")
 
     def __getitem__(self, index) -> "Tensor":
         a = self
-        out_data = a.data[index]
+        out_data = np.asarray(a.data[index], dtype=np.float32)
         items = index if isinstance(index, tuple) else (index,)
         # basic indexing (ints/slices only) selects each element at most
         # once, so the adjoint is a plain sliced add — np.add.at's slow
@@ -644,19 +768,25 @@ class Tensor:
             return ((a, full),)
 
         # basic indexing returns a view — no copy until someone needs one
-        return Tensor._from_op(out_data, (a,), backward, "getitem")
+        replay = "view" if np.shares_memory(out_data, a.data) else \
+            (lambda: np.copyto(out_data, a.data[index]))
+        return Tensor._from_op(out_data, (a,), backward, "getitem", replay=replay)
 
     def pad(self, pad_width: Iterable[tuple[int, int]], value: float = 0.0) -> "Tensor":
         a = self
         pw = tuple(tuple(p) for p in pad_width)
+        out_data = np.pad(a.data, pw, mode="constant", constant_values=value)
 
         def backward(g):
             slices = tuple(slice(lo, g.shape[i] - hi) for i, (lo, hi) in enumerate(pw))
             return ((a, g[slices]),)
 
-        return Tensor._from_op(
-            np.pad(a.data, pw, mode="constant", constant_values=value), (a,), backward, "pad"
-        )
+        def replay():
+            # the constant border never changes; refresh the interior only
+            inner = tuple(slice(lo, lo + s) for (lo, _), s in zip(pw, a.data.shape))
+            np.copyto(out_data[inner], a.data)
+
+        return Tensor._from_op(out_data, (a,), backward, "pad", replay=replay)
 
     @staticmethod
     def concatenate(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -673,7 +803,14 @@ class Tensor:
             return tuple(grads)
 
         data = np.concatenate([t.data for t in tensors], axis=axis)
-        return Tensor._from_op(data, tensors, backward, "concat")
+
+        def replay():
+            for t, lo, hi in zip(tensors, offsets[:-1], offsets[1:]):
+                idx = [slice(None)] * data.ndim
+                idx[axis] = slice(int(lo), int(hi))
+                np.copyto(data[tuple(idx)], t.data)
+
+        return Tensor._from_op(data, tensors, backward, "concat", replay=replay)
 
     @staticmethod
     def stack(tensors: Sequence["Tensor"], axis: int = 0) -> "Tensor":
@@ -684,7 +821,14 @@ class Tensor:
             return tuple((t, np.squeeze(p, axis=axis)) for t, p in zip(tensors, parts))
 
         data = np.stack([t.data for t in tensors], axis=axis)
-        return Tensor._from_op(data, tensors, backward, "stack")
+
+        def replay():
+            for i, t in enumerate(tensors):
+                idx = [slice(None)] * data.ndim
+                idx[axis] = i
+                np.copyto(data[tuple(idx)], t.data)
+
+        return Tensor._from_op(data, tensors, backward, "stack", replay=replay)
 
     def broadcast_to(self, shape: tuple[int, ...]) -> "Tensor":
         a = self
@@ -693,4 +837,5 @@ class Tensor:
             return ((a, _unbroadcast(g, a.shape)),)
 
         # read-only 0-stride view; consumers treat .data as immutable anyway
-        return Tensor._from_op(np.broadcast_to(a.data, shape), (a,), backward, "broadcast")
+        return Tensor._from_op(np.broadcast_to(a.data, shape), (a,), backward,
+                               "broadcast", replay="view")

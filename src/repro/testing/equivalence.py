@@ -71,10 +71,13 @@ __all__ = [
 #: Every strategy the oracle knows how to drive.  The ``*_overlap``
 #: variants run the same engines with backward-driven bucketed async
 #: reduction — the oracle is the proof they are numerically the same
-#: schedule.
+#: schedule.  The ``*_compiled`` variants replay captured step programs
+#: (:mod:`repro.tensor.compile`) instead of re-walking the tape; the
+#: bitwise-vs-eager claim is asserted separately in the test suite.
 PARALLELISMS: tuple[str, ...] = (
     "ddp", "fsdp", "tp", "ulysses", "hybrid_op", "tiles", "pipeline", "composite",
     "ddp_overlap", "fsdp_overlap", "composite_overlap",
+    "ddp_compiled", "composite_compiled", "composite_overlap_compiled",
 )
 
 #: (rtol, atol) per strategy — float32 ring-reduction rounding for most;
@@ -91,6 +94,9 @@ _TOLERANCES: dict[str, tuple[float, float]] = {
     "ddp_overlap": (1e-4, 1e-5),
     "fsdp_overlap": (1e-4, 1e-5),
     "composite_overlap": (1e-4, 1e-5),
+    "ddp_compiled": (1e-4, 1e-5),
+    "composite_compiled": (1e-4, 1e-5),
+    "composite_overlap_compiled": (1e-4, 1e-5),
 }
 
 #: world → (tp, fsdp, tiles, ddp) for the composite oracle runs.  Chosen
@@ -223,17 +229,22 @@ def _diverse_factory(config: ModelConfig, seed: int):
     return lambda r: _make_model(config, seed if r == 0 else seed + 100 + r)
 
 
-def _build_ddp(world, config, seed, rng, overlap=False):
+def _build_ddp(world, config, seed, rng, overlap=False, compile=False):
     batch = int(np.lcm(8, world))
     x = rng.standard_normal((batch, 2, 8, 8)).astype(np.float32)
     y = rng.standard_normal((batch, 1, 16, 16)).astype(np.float32)
-    strat = DDPStrategy(_mse, overlap=overlap, bucket_bytes=1 << 12)
+    strat = DDPStrategy(_mse, overlap=overlap, bucket_bytes=1 << 12,
+                        compile=compile)
     strat.setup(_diverse_factory(config, seed), VirtualCluster(world).world_group())
     return strat, (x, y)
 
 
 def _build_ddp_overlap(world, config, seed, rng):
     return _build_ddp(world, config, seed, rng, overlap=True)
+
+
+def _build_ddp_compiled(world, config, seed, rng):
+    return _build_ddp(world, config, seed, rng, compile=True)
 
 
 def _build_fsdp(world, config, seed, rng, overlap=False):
@@ -257,20 +268,29 @@ def _build_tiles(world, config, seed, rng):
     return strat, (x, y)
 
 
-def _build_composite(world, config, seed, rng, overlap=False):
+def _build_composite(world, config, seed, rng, overlap=False, compile=False):
     tp, fsdp, tiles, ddp = _COMPOSITE_FACTORS.get(world, (1, 1, 1, world))
     plan = CompositePlan(VirtualCluster(world), tp=tp, fsdp=fsdp,
                          tiles=tiles, ddp=ddp)
     x = rng.standard_normal((ddp, 2, 16, 16)).astype(np.float32)
     y = rng.standard_normal((ddp, 1, 32, 32)).astype(np.float32)
     strat = CompositeStrategy(plan, _mse, halo=2, factor=2,
-                              overlap=overlap, bucket_bytes=1 << 12)
+                              overlap=overlap, bucket_bytes=1 << 12,
+                              compile=compile)
     strat.setup(_diverse_factory(config, seed))
     return strat, (x, y)
 
 
 def _build_composite_overlap(world, config, seed, rng):
     return _build_composite(world, config, seed, rng, overlap=True)
+
+
+def _build_composite_compiled(world, config, seed, rng):
+    return _build_composite(world, config, seed, rng, compile=True)
+
+
+def _build_composite_overlap_compiled(world, config, seed, rng):
+    return _build_composite(world, config, seed, rng, overlap=True, compile=True)
 
 
 def _build_tp(world, config, seed, rng):
@@ -353,6 +373,18 @@ _SPECS: dict[str, OracleSpec] = {
         _build_composite_overlap,
         "phases 1-2 launched bucket-by-bucket under backward; aligned "
         "sub-range all-reduces keep the eager schedule's float32 rounding"),
+    "ddp_compiled": OracleSpec(
+        _build_ddp_compiled,
+        "per-replica CompiledStep replay — bit-identical to the eager "
+        "tape walk, so the row matches wherever plain ddp does"),
+    "composite_compiled": OracleSpec(
+        _build_composite_compiled,
+        "per-(sample, tile) CompiledStep replay inside the composite "
+        "schedule; reduce phases unchanged"),
+    "composite_overlap_compiled": OracleSpec(
+        _build_composite_overlap_compiled,
+        "compiled replay firing the bucketer's ready-hooks from the "
+        "backward program; overlap schedule bit-identical to eager"),
 }
 
 

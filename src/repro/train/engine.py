@@ -102,7 +102,8 @@ class DistributedEngine(Trainer):
                  halo: int = 2, factor: int = 2, loss_fn=None,
                  latitude_loss: bool = False,
                  overlap: bool = False, bucket_bytes: int = 1 << 16,
-                 val_dataset: DownscalingDataset | None = None):
+                 val_dataset: DownscalingDataset | None = None,
+                 compile: bool = False):
         if config.batch_size != plan.ddp:
             raise ValueError(
                 f"batch_size {config.batch_size} != plan data-parallel "
@@ -124,10 +125,14 @@ class DistributedEngine(Trainer):
         strategy_loss = (_TileAwareLoss(self._strategy_loss)
                          if getattr(self._tile_loss, "tile_aware", False)
                          else self._strategy_loss)
-        self.strategy = CompositeStrategy(plan, strategy_loss,
-                                          halo=halo, factor=factor,
-                                          overlap=overlap,
-                                          bucket_bytes=bucket_bytes)
+        # the per-tile loss reads the live loss scale inside the captured
+        # graph, so compiled steps must recapture whenever it moves
+        self.strategy = CompositeStrategy(
+            plan, strategy_loss, halo=halo, factor=factor,
+            overlap=overlap, bucket_bytes=bucket_bytes, compile=compile,
+            compile_guard=lambda: (
+                self.scaler.scale_value
+                if getattr(self, "scaler", None) is not None else None))
         self.strategy.setup(model_factory)
         super().__init__(self.strategy.units()[0], dataset, config,
                          val_dataset=val_dataset)

@@ -15,7 +15,7 @@ from ..data.datasets import DownscalingDataset
 from ..data.normalize import log1p_precip
 from ..evals import evaluate_all
 from ..nn import Module
-from ..tensor import Tensor, no_grad
+from ..tensor import CompiledForward, Tensor, no_grad
 
 __all__ = ["build_inference_runner", "predict_dataset",
            "evaluate_downscaling", "global_inference"]
@@ -23,7 +23,8 @@ __all__ = ["build_inference_runner", "predict_dataset",
 
 def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
                            factor: int | None = None,
-                           coarse_shape: tuple[int, int] | None = None) -> Module:
+                           coarse_shape: tuple[int, int] | None = None,
+                           compile: bool = False) -> Module:
     """The inference runner for a (possibly tiled) downscaler, validated
     up front.
 
@@ -36,6 +37,12 @@ def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
     ``coarse_shape`` (the input grid ``(h, w)``), when known, lets the
     tile partition be validated before any compute: the grid must divide
     into the tile layout and the halo must be smaller than the tile core.
+
+    ``compile=True`` wraps the *model* in a
+    :class:`~repro.tensor.compile.CompiledForward` so repeated
+    fixed-shape forwards (and each tile of a tiled run — all tiles share
+    one shape, hence one program) replay a captured plan instead of
+    rebuilding the tape.  Output values are bit-identical.
     """
     if n_tiles < 1:
         raise ValueError(f"n_tiles must be >= 1, got {n_tiles}")
@@ -47,7 +54,7 @@ def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
             or factor < 1:
         raise ValueError(f"factor must be a positive integer, got {factor!r}")
     if n_tiles == 1:
-        return model
+        return CompiledForward(model) if compile else model
     if factor is None:
         raise ValueError(
             "factor required for tiled inference: pass factor= or use a "
@@ -56,7 +63,10 @@ def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
         # raises the tile-geometry errors (non-divisible grid, halo >=
         # tile core) before any forward pass runs
         make_tiles(coarse_shape[0], coarse_shape[1], n_tiles, halo)
-    return TiledDownscaler(model, n_tiles=n_tiles, halo=halo, factor=int(factor))
+    # compile wraps the inner model: per-tile shapes are identical, so
+    # one captured program serves every tile; stitching stays eager
+    inner = CompiledForward(model) if compile else model
+    return TiledDownscaler(inner, n_tiles=n_tiles, halo=halo, factor=int(factor))
 
 
 def predict_dataset(model: Module, dataset: DownscalingDataset,

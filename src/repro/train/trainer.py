@@ -14,7 +14,7 @@ from ..data.datasets import DownscalingDataset
 from ..data.grids import latitude_weights
 from ..nn import AdamW, Bf16Cast, GradScaler, Module, clip_grad_norm, warmup_cosine
 from ..obs.tracer import active_tracer, span
-from ..tensor import Tensor, no_grad
+from ..tensor import CompiledStep, Tensor, no_grad
 
 __all__ = ["TrainConfig", "Trainer", "save_checkpoint", "load_checkpoint"]
 
@@ -54,7 +54,8 @@ class Trainer:
     """
 
     def __init__(self, model: Module, dataset: DownscalingDataset,
-                 config: TrainConfig, val_dataset: DownscalingDataset | None = None):
+                 config: TrainConfig, val_dataset: DownscalingDataset | None = None,
+                 compile: bool = False):
         self.model = model
         self.dataset = dataset
         self.val_dataset = val_dataset
@@ -72,6 +73,15 @@ class Trainer:
         self.cast = Bf16Cast() if config.bf16 else None
         self.history = TrainHistory()
         self._rng = np.random.default_rng(config.seed)
+        self.compiled = bool(compile)
+        self._compiled_step = None
+        if self.compiled:
+            self._compiled_step = CompiledStep(
+                self._compiled_fn,
+                guard_extra=lambda: (
+                    bool(getattr(self.model, "training", True)),
+                    self.scaler.scale_value if self.scaler is not None else None),
+                span=lambda name: span(name, cat="step"))
         self._step = 0
         self._total_steps = max(
             1, config.epochs * ((len(dataset) + config.batch_size - 1) // config.batch_size)
@@ -101,6 +111,9 @@ class Trainer:
 
     def _backward(self, batch) -> float:
         """Forward + backward; returns the (unscaled) loss value."""
+        if self._compiled_step is not None:
+            outs = self._compiled_step(batch.inputs, batch.targets)
+            return float(outs[-1])
         with span("train/forward", cat="step"):
             loss = self._forward_loss(batch)
         with span("train/backward", cat="step"):
@@ -132,11 +145,21 @@ class Trainer:
         return norms[0]
 
     # ------------------------------------------------------------------ #
-    def _forward_loss(self, batch) -> Tensor:
-        pred = self.model(Tensor(batch.inputs))
+    def _loss_from_tensors(self, x: Tensor, y: Tensor) -> Tensor:
+        pred = self.model(x)
         if self.cast is not None:
             pred = self.cast(pred)
-        return self.loss_fn(pred, Tensor(batch.targets))
+        return self.loss_fn(pred, y)
+
+    def _forward_loss(self, batch) -> Tensor:
+        return self._loss_from_tensors(Tensor(batch.inputs), Tensor(batch.targets))
+
+    def _compiled_fn(self, xt: Tensor, yt: Tensor):
+        """Captured step: backward root (scaled when bf16) first, then the
+        unscaled loss — ``_backward`` reads the latter."""
+        loss = self._loss_from_tensors(xt, yt)
+        root = self.scaler.scale(loss) if self.scaler is not None else loss
+        return root, loss
 
     def train_step(self, batch) -> float:
         """One optimizer step; returns the (unscaled) loss value."""
