@@ -1,0 +1,231 @@
+"""Elasticity benchmark: reshard downtime and queue-driven autoscaling.
+
+Two halves, both deterministic:
+
+* **reshard** — a live ``DistributedEngine`` grows 4 -> 8 ranks through
+  :meth:`~repro.train.DistributedEngine.replan` at several model widths,
+  recording canonical-state bytes, wall-clock downtime, and the
+  perf-model's priced downtime.  CI gates that the first post-reshard
+  step is **bitwise identical** to a fresh engine started at the new
+  world from the same canonical state — the elasticity contract as a
+  benchmark gate.
+* **autoscale** — the same request burst through a static 4-replica
+  fleet and an autoscaled one (min 1 replica, queue-depth trigger).  CI
+  gates that the autoscaler still meets the burst p99 SLO while billing
+  **fewer replica-seconds** than the static fleet.
+
+Headline numbers land in repo-root ``BENCH_elastic.json``.  Run directly
+(``python benchmarks/bench_elastic.py [--quick]``) to print the report
+and exit non-zero if a gate fails.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, Reslim
+from repro.data import DatasetSpec, DownscalingDataset, Grid
+from repro.distributed import CompositePlan, VirtualCluster
+from repro.serve import (
+    AutoscalePolicy,
+    BatchPolicy,
+    DownscalingService,
+    Request,
+)
+from repro.train import DistributedEngine, TrainConfig
+
+BENCH_ELASTIC_PATH = Path(__file__).parent.parent / "BENCH_elastic.json"
+
+#: model widths for the reshard sweep (embed_dim scales state bytes ~x4)
+WIDTHS = (16, 32)
+SEED = 0
+
+#: the autoscale half: a hard burst against a 4-replica fleet
+N_REPLICAS = 4
+SLO_P99_S = 0.5
+BURST_N = 80
+BURST_SPACING_S = 0.001
+SERVICE_TIME_S = 0.02
+POLICY = BatchPolicy(max_batch=4, max_wait_s=0.002)
+AUTOSCALE = AutoscalePolicy(min_replicas=1, scale_up_depth=4,
+                            cooldown_s=0.01, spinup_s=0.002)
+
+
+def _plan(tp=1, fsdp=1, tiles=1, ddp=1) -> CompositePlan:
+    world = tp * fsdp * tiles * ddp
+    return CompositePlan(VirtualCluster(world), tp=tp, fsdp=fsdp,
+                         tiles=tiles, ddp=ddp)
+
+
+def _engine(plan: CompositePlan, embed_dim: int) -> DistributedEngine:
+    config = ModelConfig(f"bench-{embed_dim}", embed_dim=embed_dim, depth=1,
+                         num_heads=2)
+    spec = DatasetSpec(name="bench-elastic", fine_grid=Grid(16, 32), factor=4,
+                       years=(2000,), samples_per_year=4, seed=3,
+                       output_channels=(17, 18, 19))
+    ds = DownscalingDataset(spec, years=(2000,))
+
+    def factory(unit_index=0):
+        return Reslim(config, 23, 3, factor=4, max_tokens=64,
+                      rng=np.random.default_rng(SEED))
+
+    return DistributedEngine(factory, ds, TrainConfig(
+        epochs=1, batch_size=plan.ddp, lr=2e-3, seed=7), plan,
+        halo=2, factor=4)
+
+
+def reshard_sweep(widths=WIDTHS) -> list[dict]:
+    """Grow 4 -> 8 at each width; verify the bitwise fresh-start contract."""
+    rows = []
+    for embed_dim in widths:
+        engine = _engine(_plan(1, 1, 2, 2), embed_dim)
+        batches = list(engine.dataset.batches(engine.config.batch_size))
+        for i in range(2):
+            engine.train_step(batches[i % len(batches)])
+        snapshot = engine.export_state()
+
+        report = engine.replan(_plan(1, 2, 2, 2))
+
+        fresh = _engine(_plan(1, 2, 2, 2), embed_dim)
+        fresh.import_state(snapshot)
+        live = engine.train_step(batches[0])
+        ref = fresh.train_step(batches[0])
+        bitwise = live == ref and all(
+            np.array_equal(a.data, b.data)
+            for a, b in zip(engine.model.parameters(),
+                            fresh.model.parameters()))
+        rows.append({
+            "embed_dim": embed_dim,
+            "params": int(snapshot.size),
+            "state_bytes": int(report["state_bytes"]),
+            "downtime_s": float(report["downtime_s"]),
+            "modeled_downtime_s": float(report["modeled"]["downtime_s"]),
+            "bytes_moved": int(report["modeled"]["bytes_moved"]),
+            "bitwise_vs_fresh_start": bool(bitwise),
+        })
+    return rows
+
+
+def _burst() -> list[Request]:
+    return [Request(rid=i, arrival_s=i * BURST_SPACING_S, sample=i % 8)
+            for i in range(BURST_N)]
+
+
+def _fleet(autoscale: AutoscalePolicy | None) -> dict:
+    service = DownscalingService(
+        n_replicas=N_REPLICAS, policy=POLICY,
+        service_time=lambda b: SERVICE_TIME_S, autoscale=autoscale)
+    summary = service.run(_burst()).summary()
+    return {k: summary[k] for k in (
+        "requests", "latency_p50_s", "latency_p99_s", "queue_depth_max",
+        "replica_seconds", "scale_ups", "scale_downs", "shed")}
+
+
+def autoscale_comparison() -> dict:
+    return {"static": _fleet(None), "autoscaled": _fleet(AUTOSCALE)}
+
+
+def render(reshard: list[dict], fleets: dict) -> list[str]:
+    lines = [
+        "Elastic re-planning: reshard downtime and autoscaled serving",
+        f"reshard: grow 4 -> 8 ranks (tp=1,fsdp=1,tiles=2,ddp=2 -> fsdp=2)",
+        "-" * 72,
+        f"{'width':>6s} {'params':>9s} {'state MB':>9s} {'wall ms':>9s} "
+        f"{'model ms':>9s} {'bitwise':>8s}",
+    ]
+    for row in reshard:
+        lines.append(
+            f"{row['embed_dim']:>6d} {row['params']:>9d} "
+            f"{row['state_bytes'] / 1e6:>9.2f} "
+            f"{row['downtime_s'] * 1e3:>9.2f} "
+            f"{row['modeled_downtime_s'] * 1e3:>9.3f} "
+            f"{str(row['bitwise_vs_fresh_start']):>8s}")
+    lines += [
+        "",
+        f"autoscale: burst of {BURST_N} requests, {N_REPLICAS}-replica "
+        f"fleet, SLO p99 <= {SLO_P99_S * 1e3:g} ms",
+        "-" * 72,
+        f"{'fleet':>11s} {'p50 ms':>8s} {'p99 ms':>8s} {'depth':>6s} "
+        f"{'rep-sec':>8s} {'ups':>4s} {'downs':>6s} {'shed':>5s}",
+    ]
+    for name, s in fleets.items():
+        lines.append(
+            f"{name:>11s} {s['latency_p50_s'] * 1e3:>8.2f} "
+            f"{s['latency_p99_s'] * 1e3:>8.2f} {s['queue_depth_max']:>6.0f} "
+            f"{s['replica_seconds']:>8.3f} {s['scale_ups']:>4.0f} "
+            f"{s['scale_downs']:>6.0f} {s['shed']:>5.0f}")
+    return lines
+
+
+def gates(reshard: list[dict], fleets: dict) -> list[str]:
+    """Return failed-gate messages (empty == pass)."""
+    failures = []
+    for row in reshard:
+        if not row["bitwise_vs_fresh_start"]:
+            failures.append(
+                f"width {row['embed_dim']}: post-reshard step diverged from "
+                "a fresh start at the new world")
+    if len(reshard) > 1 and not (reshard[-1]["state_bytes"]
+                                 > reshard[0]["state_bytes"]):
+        failures.append("state bytes did not grow with model width")
+    scaled, static = fleets["autoscaled"], fleets["static"]
+    if not scaled["latency_p99_s"] <= SLO_P99_S:
+        failures.append(
+            f"autoscaled burst p99 {scaled['latency_p99_s']:.3f}s misses "
+            f"the {SLO_P99_S:g}s SLO")
+    if not scaled["replica_seconds"] < static["replica_seconds"]:
+        failures.append(
+            f"autoscaler billed {scaled['replica_seconds']:.3f} "
+            f"replica-seconds, static fleet only "
+            f"{static['replica_seconds']:.3f}")
+    if not scaled["scale_ups"] > 0:
+        failures.append("burst never triggered a scale-up")
+    if scaled["shed"] or static["shed"]:
+        failures.append("unbounded queues shed requests")
+    return failures
+
+
+def record(metrics: dict) -> Path:
+    doc = {"schema": "bench_elastic/v1"}
+    if BENCH_ELASTIC_PATH.exists():
+        try:
+            existing = json.loads(BENCH_ELASTIC_PATH.read_text())
+            if existing.get("schema") == doc["schema"]:
+                doc = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # rewrite a corrupt file from scratch
+    doc.update(metrics)
+    BENCH_ELASTIC_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                                  + "\n")
+    return BENCH_ELASTIC_PATH
+
+
+def test_elastic_bench():
+    reshard = reshard_sweep(widths=WIDTHS[:1])
+    fleets = autoscale_comparison()
+    record({"reshard": reshard, "fleets": fleets})
+    assert not gates(reshard, fleets)
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    reshard = reshard_sweep(widths=WIDTHS[:1] if quick else WIDTHS)
+    fleets = autoscale_comparison()
+    # wall-clock downtime varies run to run; golden-check only the stable
+    # modeled/accounting numbers via the JSON record, print the table raw
+    for line in render(reshard, fleets):
+        print(line)
+    path = record({"reshard": reshard, "fleets": fleets})
+    print(f"[bench_elastic] wrote {path}")
+    failures = gates(reshard, fleets)
+    for f in failures:
+        print(f"[bench_elastic] GATE FAILED: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -81,6 +81,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ddp", type=int, default=0,
                    help="DDP ways (default: world / (tp*fsdp*tiles))")
     p.add_argument("--tokens-per-tile", type=int, default=4096)
+    p.add_argument("--diff", nargs=2, metavar=("OLD", "NEW"),
+                   help="compare two layouts (tp=N,fsdp=N,tiles=N,ddp=N "
+                        "specs): per-op comm-cost delta + modeled reshard "
+                        "downtime")
 
     pr = sub.add_parser("profile", help="trace training steps, write "
                                         "Chrome trace JSON + summary")
@@ -300,6 +304,9 @@ def _cmd_plan(args) -> int:
     from repro.distributed import CompositePlan, VirtualCluster
 
     cfg = PAPER_CONFIGS[args.model]
+    if args.diff:
+        return _plan_diff(args.diff[0], args.diff[1], cfg,
+                          tokens_per_tile=args.tokens_per_tile)
     ddp = args.ddp or max(1, args.world // (args.tp * args.fsdp * args.tiles))
     try:
         plan = CompositePlan(VirtualCluster(args.world), tp=args.tp,
@@ -311,6 +318,46 @@ def _cmd_plan(args) -> int:
     print(f"plan valid: every rank appears exactly once per level "
           f"(model {args.model})")
     _print_plan_costs(plan, cfg, tokens_per_tile=args.tokens_per_tile)
+    return 0
+
+
+def _plan_diff(old_spec: str, new_spec: str, cfg,
+               tokens_per_tile: int = 4096) -> int:
+    from repro.distributed import CompositePlan, VirtualCluster, plan_cost_diff
+
+    def build(spec: str) -> CompositePlan:
+        sizes = _parse_plan_spec(spec)
+        world = sizes["tp"] * sizes["fsdp"] * sizes["tiles"] * sizes["ddp"]
+        return CompositePlan(VirtualCluster(world), **sizes)
+
+    try:
+        old, new = build(old_spec), build(new_spec)
+    except ValueError as exc:
+        print(f"invalid plan: {exc}", file=sys.stderr)
+        return 1
+    diff = plan_cost_diff(old, new, cfg, tokens_per_tile=tokens_per_tile)
+    print(f"plan diff: {old_spec}  ->  {new_spec} "
+          f"(world {old.world} -> {new.world})")
+    print(f"{'level':<6s} {'op':>15s} {'size':>9s} {'MB/step':>19s} "
+          f"{'ms/step':>19s} {'delta_ms':>9s}")
+    for row in diff["rows"]:
+        size = f"{row['old_group_size']}->{row['new_group_size']}"
+        mb = (f"{row['old_bytes'] / 1e6:8.2f}->"
+              f"{row['new_bytes'] / 1e6:<8.2f}")
+        ms = (f"{row['old_time_s'] * 1e3:8.3f}->"
+              f"{row['new_time_s'] * 1e3:<8.3f}")
+        print(f"{row['level']:<6s} {row['op']:>15s} {size:>9s} {mb:>19s} "
+              f"{ms:>19s} {row['delta_time_s'] * 1e3:>+9.3f}")
+    print(f"modelled comm time per step: {diff['old_total_s'] * 1e3:.3f} -> "
+          f"{diff['new_total_s'] * 1e3:.3f} ms "
+          f"({diff['delta_total_s'] * 1e3:+.3f} ms)")
+    rs = diff["reshard"]
+    print(f"reshard cost: {rs['state_bytes'] / 1e6:.1f} MB canonical state, "
+          f"{rs['bytes_moved'] / 1e6:.1f} MB moved")
+    print(f"  export {rs['export_s'] * 1e3:.3f} ms + import "
+          f"{rs['import_s'] * 1e3:.3f} ms + revalidate "
+          f"{rs['revalidate_s'] * 1e3:.3f} ms "
+          f"= downtime {rs['downtime_s'] * 1e3:.3f} ms")
     return 0
 
 

@@ -98,6 +98,7 @@ class DistributedDataParallel:
         # so no per-parameter flatten/unflatten copies happen per step
         self.buffers = [FlatParamBuffer(list(rep.parameters())) for rep in replicas]
         self.overlap = overlap
+        self.bucket_bytes = bucket_bytes
         self.bucketers = ([GradBucketer(buf, bucket_bytes)
                            for buf in self.buffers] if overlap else [])
         self.compile = bool(compile)
@@ -204,6 +205,39 @@ class DistributedDataParallel:
         losses = self.forward_backward(inputs, targets)
         self.reduce_gradients()
         return losses
+
+    def export_state(self) -> np.ndarray:
+        """Copy out the canonical flat parameter vector (replica 0's)."""
+        return self.buffers[0].export_data()
+
+    def reshard(self, replicas: list[Module], group: ProcessGroup) -> None:
+        """Re-home the trained weights onto a new replica fleet, bitwise.
+
+        The elastic path for DDP: export the canonical flat vector,
+        rebuild buffers/bucketers on the new replicas and process group,
+        invalidate every captured :class:`CompiledStep` (the next call
+        recaptures against the new replicas), and import the state —
+        equivalent to constructing a fresh engine from replicas already
+        holding the trained weights.
+        """
+        if len(replicas) != group.size:
+            raise ValueError(f"{len(replicas)} replicas for group of {group.size}")
+        canonical = self.export_state()
+        for step in self._compiled:
+            if step is not None:
+                step.invalidate()
+        self.replicas = replicas
+        self.group = group
+        self.buffers = [FlatParamBuffer(list(rep.parameters()))
+                        for rep in replicas]
+        self.bucketers = ([GradBucketer(buf, self.bucket_bytes)
+                           for buf in self.buffers] if self.overlap else [])
+        self._compiled = [None] * len(replicas)
+        self._works = []
+        for buf in self.buffers:
+            buf.load_data(canonical)
+        # the remap is a broadcast of the canonical state onto the fleet
+        self.group.stats.record("broadcast", canonical.nbytes)
 
     def assert_replicas_synchronized(self, atol: float = 0.0) -> None:
         """Raise if replica weights have drifted apart."""

@@ -141,6 +141,29 @@ class FSDPEngine:
                 grad_shards[rank][name] = flat[lo:hi].copy()
         return grad_shards
 
+    def reshard(self, group: ProcessGroup) -> None:
+        """Re-partition the shard store onto a new process group, bitwise.
+
+        The elastic path for FSDP: gather every parameter's shards into
+        the live model tensors (an all-gather on the *old* group — the
+        export half of the remap), then re-slice them at the new world.
+        ``shard_array`` is pure flatten-and-split, so growing or
+        shrinking the group never perturbs a value — only the padding
+        tail moves.
+        """
+        self.gather_all()
+        old = self.group
+        self.group = group
+        self.shards = [dict() for _ in range(group.size)]
+        for name, p in self._params.items():
+            for rank, shard in enumerate(shard_array(p.data, group.size)):
+                self.shards[rank][name] = shard
+        # import half: the canonical tensors land on the new group's ranks
+        if group is not old:
+            group.stats.record(
+                "broadcast", sum(p.data.nbytes for p in self._params.values()))
+        self._gathered.clear()
+
     def apply_sharded_update(self, grad_shards: list[dict[str, np.ndarray]],
                              lr: float) -> None:
         """SGD on the shards, then re-materialize the model weights.

@@ -44,6 +44,9 @@ __all__ = [
     "memory_per_gpu_bytes",
     "max_output_tokens",
     "plan_comm_costs",
+    "plan_cost_diff",
+    "reshard_cost",
+    "REPLAN_VALIDATE_S",
     "step_traffic_schedule",
     "modeled_step_timeline",
     "overlap_report",
@@ -426,6 +429,88 @@ def plan_comm_costs(plan: CompositePlan, config: ModelConfig,
             "link": hierarchy[level],
         })
     return rows
+
+
+REPLAN_VALIDATE_S = 2.0e-4
+"""Per-rank re-validation/wiring cost of a reshard: rebuilding the new
+plan's process groups, re-checking the level partitions, and re-arming
+gradient buckets.  Linear in the new world."""
+
+
+def reshard_cost(old_plan: CompositePlan, new_plan: CompositePlan,
+                 state_nbytes: int) -> dict:
+    """Modeled price of moving a live run from one plan to another.
+
+    The reshard is a gather-then-scatter of the canonical state: the old
+    plan's FSDP group all-gathers its shards into the canonical vector
+    (export), the new world broadcasts it onto the new slices (import),
+    and every new rank pays a fixed re-validation cost.  Both transfers
+    are priced on the ring model of the actual clusters involved, so the
+    downtime scales with state bytes and with the slowest link either
+    plan's groups cross.
+    """
+    state_nbytes = int(state_nbytes)
+    export_group = old_plan.cluster.group(old_plan.fsdp_ranks(0, 0, 0))
+    import_group = new_plan.cluster.group(list(range(new_plan.world)))
+    export_s = export_group.collective_time("all_gather", state_nbytes)
+    import_s = import_group.collective_time("broadcast", state_nbytes)
+    revalidate_s = REPLAN_VALIDATE_S * new_plan.world
+    return {
+        "old": old_plan.layout(),
+        "new": new_plan.layout(),
+        "state_bytes": state_nbytes,
+        "bytes_moved": 2 * state_nbytes,
+        "export_s": export_s,
+        "import_s": import_s,
+        "revalidate_s": revalidate_s,
+        "downtime_s": export_s + import_s + revalidate_s,
+    }
+
+
+def plan_cost_diff(old_plan: CompositePlan, new_plan: CompositePlan,
+                   config: ModelConfig, tokens_per_tile: int = 4096,
+                   in_channels: int = 23, out_channels: int = 18) -> dict:
+    """Per-(level, op) delta between two plans' communication bills.
+
+    Joins :func:`plan_comm_costs` rows of both plans on (level, op) —
+    the row set is fixed, so the join is total — and attaches the
+    modeled :func:`reshard_cost` of moving between them (canonical state
+    = fp32 params + two fp32 AdamW moments).  This is what
+    ``repro plan --diff OLD NEW`` prints.
+    """
+    old_rows = plan_comm_costs(old_plan, config, tokens_per_tile,
+                               in_channels, out_channels)
+    new_rows = plan_comm_costs(new_plan, config, tokens_per_tile,
+                               in_channels, out_channels)
+    rows = []
+    for o, n in zip(old_rows, new_rows):
+        assert (o["level"], o["op"]) == (n["level"], n["op"])
+        rows.append({
+            "level": o["level"],
+            "op": o["op"],
+            "old_group_size": o["group_size"],
+            "new_group_size": n["group_size"],
+            "old_bytes": o["calls"] * o["bytes_per_call"],
+            "new_bytes": n["calls"] * n["bytes_per_call"],
+            "old_time_s": o["time_s"],
+            "new_time_s": n["time_s"],
+            "delta_time_s": n["time_s"] - o["time_s"],
+        })
+    old_total = sum(r["old_time_s"] for r in rows)
+    new_total = sum(r["new_time_s"] for r in rows)
+    params = transformer_param_count(config, in_channels=in_channels,
+                                     out_channels=out_channels)
+    # canonical state: fp32 params + 2 fp32 Adam moments
+    reshard = reshard_cost(old_plan, new_plan, params * 12)
+    return {
+        "old": old_plan.layout(),
+        "new": new_plan.layout(),
+        "rows": rows,
+        "old_total_s": old_total,
+        "new_total_s": new_total,
+        "delta_total_s": new_total - old_total,
+        "reshard": reshard,
+    }
 
 
 def modeled_step_timeline(plan: CompositePlan, config: ModelConfig,

@@ -701,6 +701,60 @@ class CompositePlan:
             "ddp": widest(self.ddp_ranks(0, 0, 0)),
         }
 
+    # ------------------------------------------------------------------ #
+    # elasticity: derive a successor plan for a live reshard
+    # ------------------------------------------------------------------ #
+    def layout(self) -> dict[str, int]:
+        """Serializable layout descriptor (checkpoint metadata, diffs)."""
+        return {"world": self.world, "tp": self.tp, "fsdp": self.fsdp,
+                "tiles": self.tiles, "ddp": self.ddp}
+
+    def reshard(self, tp: int | None = None, fsdp: int | None = None,
+                tiles: int | None = None, ddp: int | None = None,
+                cluster: VirtualCluster | None = None) -> "CompositePlan":
+        """A new plan with some factors changed — the reshard target.
+
+        Unspecified factors are carried over.  A fresh
+        :class:`VirtualCluster` of the new product is created (same
+        topology) unless one is passed in, so the old plan's groups and
+        their byte accounting stay untouched while the live state moves
+        to the new plan via :mod:`repro.distributed.elastic`.
+        """
+        tp = self.tp if tp is None else int(tp)
+        fsdp = self.fsdp if fsdp is None else int(fsdp)
+        tiles = self.tiles if tiles is None else int(tiles)
+        ddp = self.ddp if ddp is None else int(ddp)
+        world = tp * fsdp * tiles * ddp
+        if cluster is None:
+            cluster = VirtualCluster(world, topology=self.cluster.topology)
+        return CompositePlan(cluster=cluster, tp=tp, fsdp=fsdp,
+                             tiles=tiles, ddp=ddp)
+
+    def shrink_to(self, new_world: int) -> "CompositePlan":
+        """The recovery plan after ranks die, preserving batch semantics.
+
+        ``ddp`` is pinned to the configured batch size and ``tiles``
+        fixes the loss decomposition, so both are preserved; the
+        surviving world is absorbed by shrinking FSDP (the numerically
+        safe axis — reduce-scatter accumulates elementwise in float64,
+        so repartitioning it cannot perturb gradients) and, when the
+        quotient no longer divides by ``tp``, collapsing TP to 1.
+        """
+        if new_world < 1:
+            raise ValueError(f"cannot shrink to world {new_world}")
+        unit_ways = self.tiles * self.ddp
+        if new_world % unit_ways:
+            raise ValueError(
+                f"world {new_world} not divisible by tiles x ddp = "
+                f"{self.tiles}x{self.ddp}; batch/tile semantics cannot be "
+                f"preserved")
+        quotient = new_world // unit_ways
+        if quotient % self.tp == 0:
+            tp, fsdp = self.tp, quotient // self.tp
+        else:
+            tp, fsdp = 1, quotient
+        return self.reshard(tp=tp, fsdp=fsdp)
+
 
 # --------------------------------------------------------------------- #
 # the composite strategy: the full Fig. 5 stack, end-to-end
@@ -732,9 +786,15 @@ class CompositeStrategy(ParallelStrategy):
         self._compiled: dict[tuple[int, int], CompiledStep] = {}
         self._active_loss_fn = loss_fn
         self.steps = 0
+        self._model_factory = None
+        # bumped by every reshard; part of the compiled-step guard key so
+        # stale captured plans recapture transparently on the next call
+        self._plan_epoch = 0
 
     # ------------------------------------------------------------------ #
     def setup(self, model_factory, group: ProcessGroup | None = None) -> None:
+        self._model_factory = model_factory
+        self._release_compiled()
         plan = self.plan
         cluster = plan.cluster
         n_units = plan.ddp * plan.tiles
@@ -865,7 +925,14 @@ class CompositeStrategy(ParallelStrategy):
     def _guard_key(self):
         extra = self._compile_guard() if self._compile_guard is not None else None
         return (id(self._active_loss_fn),
-                bool(getattr(self._units[0], "training", True)), extra)
+                bool(getattr(self._units[0], "training", True)),
+                self._plan_epoch, extra)
+
+    def _release_compiled(self) -> None:
+        """Free every captured plan (arena bytes drop to zero for them)."""
+        for step in self._compiled.values():
+            step.invalidate()
+        self._compiled.clear()
 
     def _make_tile_fn(self, d: int, t: int):
         """Step function for one unit's tile: loss first (backward root),
@@ -1078,6 +1145,46 @@ class CompositeStrategy(ParallelStrategy):
             for name, arr in unit.state_dict().items():
                 if not np.allclose(arr, ref[name], atol=atol):
                     raise AssertionError(f"unit {i} drifted on {name}")
+
+    # ------------------------------------------------------------------ #
+    # elasticity: live reshard onto a new plan
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> np.ndarray:
+        """The canonical flat parameter vector (all units agree on it)."""
+        return self._buffers[0].export_data()
+
+    def import_state(self, canonical: np.ndarray) -> None:
+        """Overwrite every unit's flat buffer with the canonical vector."""
+        for buf in self._buffers:
+            buf.load_data(canonical)
+
+    def reshard(self, new_plan: CompositePlan) -> None:
+        """Move the live run onto ``new_plan``, bitwise.
+
+        Export the canonical parameter vector, validate the new plan,
+        rebuild units/buffers/process groups/bucketers at the new world
+        via :meth:`setup`, and re-import the state.  Every captured
+        :class:`CompiledStep` is released and the plan epoch bumped, so
+        a surviving ``CompiledStep`` handle held elsewhere also sees a
+        guard-key mismatch and recaptures transparently.  After this
+        returns, the strategy is bitwise-identical to one constructed
+        fresh on ``new_plan`` and fed the same canonical state.
+        """
+        if self._model_factory is None:
+            raise RuntimeError("reshard before setup: no model factory")
+        with span("replan/reshard", cat="replan",
+                  old=str(self.plan.level_sizes()),
+                  new=str(new_plan.level_sizes())):
+            with span("replan/validate", cat="replan"):
+                new_plan.validate()
+            with span("replan/export", cat="replan"):
+                canonical = self.export_state()
+            self._plan_epoch += 1
+            self.plan = new_plan
+            with span("replan/rebuild", cat="replan"):
+                self.setup(self._model_factory)
+            with span("replan/import", cat="replan"):
+                self.import_state(canonical)
 
     # ------------------------------------------------------------------ #
     def level_groups(self):

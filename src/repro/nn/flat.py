@@ -132,6 +132,26 @@ class FlatParamBuffer:
             raise ValueError(f"gradient of {flat.size} < buffer of {self.size}")
         self.grad[...] = flat.reshape(-1)[: self.size]
 
+    def export_data(self) -> np.ndarray:
+        """Copy out the flat parameter vector (canonical layout).
+
+        The layout is the deterministic ``named_parameters()`` order every
+        plan shares, so the returned vector is the plan-independent
+        canonical form used by :mod:`repro.distributed.elastic`.
+        """
+        return self.data.copy()
+
+    def load_data(self, flat: np.ndarray) -> None:
+        """Overwrite the flat parameter vector in place, bitwise.
+
+        Every ``p.data`` view sees the new values immediately.  ``flat``
+        may be padded; extra tail elements are ignored.
+        """
+        flat = np.asarray(flat, dtype=np.float32).reshape(-1)
+        if flat.size < self.size:
+            raise ValueError(f"state of {flat.size} < buffer of {self.size}")
+        self.data[...] = flat[: self.size]
+
     def sync_data(self) -> None:
         """Copy back any ``p.data`` that was re-pointed away from its view.
 

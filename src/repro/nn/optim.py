@@ -169,6 +169,35 @@ class AdamW(Optimizer):
         """Bytes of optimizer state — FSDP's sharding target (2 moments)."""
         return sum(m.nbytes + v.nbytes for m, v in zip(self._m, self._v))
 
+    def export_state(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """Copy out flat-mode moment vectors and step count (canonical form).
+
+        Flat mode only: the moments live in the same canonical layout as
+        the flat parameter buffer, which is what the elastic remap moves.
+        """
+        if self.flat is None:
+            raise ValueError("export_state requires flat mode")
+        return self._m[0].copy(), self._v[0].copy(), self.t
+
+    def import_state(self, m: np.ndarray, v: np.ndarray, t: int) -> None:
+        """Overwrite flat-mode moments and step count in place, bitwise.
+
+        The scratch buffers need no reset — every step fully rewrites
+        them via ``out=`` before reading, so imported state reproduces a
+        fresh optimizer's trajectory bit-for-bit.
+        """
+        if self.flat is None:
+            raise ValueError("import_state requires flat mode")
+        m = np.asarray(m, dtype=np.float32).reshape(-1)
+        v = np.asarray(v, dtype=np.float32).reshape(-1)
+        size = self._m[0].size
+        if m.size < size or v.size < size:
+            raise ValueError(
+                f"moment vectors of {m.size}/{v.size} < buffer of {size}")
+        self._m[0][...] = m[:size]
+        self._v[0][...] = v[:size]
+        self.t = int(t)
+
 
 def cosine_schedule(step: int, total_steps: int, base_lr: float, min_lr: float = 0.0) -> float:
     """Cosine decay from ``base_lr`` to ``min_lr`` over ``total_steps``."""

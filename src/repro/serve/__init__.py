@@ -15,13 +15,20 @@ package's scheduler in latency-only mode.
 """
 
 from .cache import CacheStats, TileCache, content_key
-from .service import BatchPolicy, DownscalingService, Response, ServeResult
+from .service import (
+    AutoscalePolicy,
+    BatchPolicy,
+    DownscalingService,
+    Response,
+    ServeResult,
+)
 from .traffic import SCENARIOS, Request, TrafficGenerator
 
 __all__ = [
     "CacheStats",
     "TileCache",
     "content_key",
+    "AutoscalePolicy",
     "BatchPolicy",
     "DownscalingService",
     "Response",

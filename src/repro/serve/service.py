@@ -54,7 +54,8 @@ from ..train.inference import build_inference_runner
 from .cache import TileCache, content_key
 from .traffic import Request
 
-__all__ = ["BatchPolicy", "Response", "ServeResult", "DownscalingService"]
+__all__ = ["AutoscalePolicy", "BatchPolicy", "Response", "ServeResult",
+           "DownscalingService"]
 
 
 @dataclass(frozen=True)
@@ -73,6 +74,35 @@ class BatchPolicy:
             raise ValueError("max_wait_s must be >= 0")
 
 
+@dataclass(frozen=True)
+class AutoscalePolicy:
+    """Queue-depth replica autoscaling over a fixed maximum fleet.
+
+    The service starts with ``min_replicas`` active.  When an arrival
+    leaves more than ``scale_up_depth`` pending requests *per active
+    replica*, one standby replica is activated — it becomes usable
+    ``spinup_s`` later, the modeled downtime of remapping the shared
+    weights onto the new replica's ranks (the same canonical-state move
+    a training reshard performs).  Once the queue drains, idle surplus
+    replicas are deactivated down to ``min_replicas``.  ``cooldown_s``
+    rate-limits consecutive scaling actions so a single burst edge
+    cannot thrash the fleet.
+    """
+
+    min_replicas: int = 1
+    scale_up_depth: int = 8
+    cooldown_s: float = 0.25
+    spinup_s: float = 5.0e-3
+
+    def __post_init__(self):
+        if self.min_replicas < 1:
+            raise ValueError("min_replicas must be >= 1")
+        if self.scale_up_depth < 1:
+            raise ValueError("scale_up_depth must be >= 1")
+        if self.cooldown_s < 0.0 or self.spinup_s < 0.0:
+            raise ValueError("cooldown_s and spinup_s must be >= 0")
+
+
 @dataclass
 class Response:
     """One served request with its full timing record."""
@@ -84,6 +114,7 @@ class Response:
     batch_size: int          # coalesced batch size (1 for cache hits)
     cache_hit: bool
     output: np.ndarray | None
+    status: str = "ok"       # "ok" | "shed" (rejected by admission control)
 
     @property
     def arrival_s(self) -> float:
@@ -141,6 +172,12 @@ class ServeResult:
                                  / len(self.utilization)
                                  if self.utilization else 0.0),
             "utilization": {str(r): u for r, u in self.utilization.items()},
+            "shed": m.counters.get("serve/shed", 0.0),
+            "scale_ups": m.counters.get("serve/scale_up", 0.0),
+            "scale_downs": m.counters.get("serve/scale_down", 0.0),
+            "replica_seconds": m.gauges.get(
+                "serve/replica_seconds",
+                self.n_replicas * self.duration_s),
         }
         return out
 
@@ -190,6 +227,16 @@ class DownscalingService:
         given).
     hit_latency_s:
         Modeled latency of answering from the cache.
+    max_queue_depth:
+        Admission control: cache misses arriving while this many
+        requests are already pending are *shed* — answered immediately
+        with ``status="shed"`` and no output, counted on ``serve/shed``
+        — so the queue (and tail latency) stays bounded under overload.
+        ``None`` (default) admits everything.
+    autoscale:
+        An :class:`AutoscalePolicy` enabling queue-depth replica
+        autoscaling; ``n_replicas`` is then the *maximum* fleet and the
+        run starts with ``autoscale.min_replicas`` active.
     """
 
     def __init__(self, model=None, *, n_replicas: int = 1,
@@ -203,11 +250,21 @@ class DownscalingService:
                  service_time=None, config=None,
                  tokens_per_sample: int = 4096,
                  hit_latency_s: float = 1.0e-4,
-                 compile: bool = False):
+                 compile: bool = False,
+                 max_queue_depth: int | None = None,
+                 autoscale: AutoscalePolicy | None = None):
         if n_replicas < 1:
             raise ValueError("n_replicas must be >= 1")
         if hit_latency_s < 0.0:
             raise ValueError("hit_latency_s must be >= 0")
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be >= 1 (or None)")
+        if autoscale is not None and autoscale.min_replicas > n_replicas:
+            raise ValueError(
+                f"autoscale min_replicas {autoscale.min_replicas} > fleet "
+                f"of {n_replicas}")
+        self.max_queue_depth = max_queue_depth
+        self.autoscale = autoscale
         self.policy = policy or BatchPolicy()
         self.cache = cache
         self.cluster = cluster or VirtualCluster(n_replicas * gpus_per_replica)
@@ -283,6 +340,14 @@ class DownscalingService:
         # SimClock mirrors them for the per-rank trace timelines)
         free = [0.0] * self.n_replicas
         batches = 0
+        # autoscaling state: which replicas are active, when each active
+        # window opened (for replica-seconds accounting), last scale time
+        start_active = (self.autoscale.min_replicas
+                        if self.autoscale is not None else self.n_replicas)
+        active = [r < start_active for r in range(self.n_replicas)]
+        window_open: dict[int, float] = {r: 0.0 for r in range(start_active)}
+        replica_seconds = [0.0] * self.n_replicas
+        last_scale = float("-inf")
 
         heap: list[tuple[float, int, int, object]] = []
         seq = 0
@@ -301,11 +366,50 @@ class DownscalingService:
         def free_at(replica: int) -> float:
             return free[replica]
 
+        def maybe_scale_up(now: float) -> None:
+            au = self.autoscale
+            if au is None:
+                return
+            nonlocal last_scale
+            n_act = sum(active)
+            if (n_act < self.n_replicas
+                    and len(pending) >= au.scale_up_depth * n_act
+                    and now - last_scale >= au.cooldown_s):
+                r = active.index(False)
+                active[r] = True
+                # the new replica is usable after the modeled downtime of
+                # remapping the shared weights onto its ranks
+                free[r] = max(free[r], now + au.spinup_s)
+                window_open[r] = now
+                last_scale = now
+                metrics.inc("serve/scale_up")
+                spans.append(Span(
+                    name="serve/scale_up", cat="serve",
+                    rank=self.home_rank(r), start_s=now, dur_s=au.spinup_s,
+                    depth=1, args={"replica": r, "queue_depth": len(pending),
+                                   "modeled": True}))
+                push(now + au.spinup_s, _DEADLINE, None)
+
+        def maybe_scale_down(now: float) -> None:
+            au = self.autoscale
+            if au is None or pending:
+                return
+            nonlocal last_scale
+            if sum(active) <= au.min_replicas or now - last_scale < au.cooldown_s:
+                return
+            for r in reversed(range(self.n_replicas)):
+                if active[r] and free_at(r) <= now:
+                    active[r] = False
+                    replica_seconds[r] += now - window_open.pop(r)
+                    last_scale = now
+                    metrics.inc("serve/scale_down")
+                    break
+
         def try_dispatch(now: float) -> None:
             nonlocal batches
             while pending:
                 idle = [r for r in range(self.n_replicas)
-                        if free_at(r) <= now]
+                        if active[r] and free_at(r) <= now]
                 if not idle:
                     return
                 full = len(pending) >= self.policy.max_batch
@@ -380,22 +484,40 @@ class DownscalingService:
                     duration = max(duration, end)
                     respond(req, now, end, None, 1, cache_hit=True,
                             output=hit)
+                elif (self.max_queue_depth is not None
+                      and len(pending) >= self.max_queue_depth):
+                    # admission control: the queue is full — shed rather
+                    # than let it (and tail latency) grow without bound.
+                    # Shed responses stay out of the latency histograms so
+                    # rejections can't masquerade as fast service.
+                    metrics.inc("serve/shed")
+                    metrics.inc("serve/requests")
+                    responses[req.rid] = Response(
+                        request=req, dispatch_s=now, complete_s=now,
+                        replica=None, batch_size=0, cache_hit=False,
+                        output=None, status="shed")
                 else:
                     pending.append(req)
                     push(req.arrival_s + self.policy.max_wait_s,
                          _DEADLINE, None)
+                    maybe_scale_up(now)
                 metrics.observe("serve/queue_depth", len(pending))
             # _DEADLINE events carry no state; they exist to wake the
             # batcher at the max-wait boundary
             try_dispatch(now)
+            maybe_scale_down(now)
             if pending and not heap:
                 # all arrivals and completions processed but requests
                 # remain queued: wake at the earliest dispatch opportunity
-                wake = min(min(free_at(r) for r in range(self.n_replicas)),
+                wake = min(min(free_at(r) for r in range(self.n_replicas)
+                               if active[r]),
                            pending[0].arrival_s + self.policy.max_wait_s)
                 push(max(wake, now), _DEADLINE, None)
 
         # ---------------- close out: roots, gauges ---------------- #
+        for r, opened in window_open.items():
+            replica_seconds[r] += duration - opened
+        metrics.gauge("serve/replica_seconds", sum(replica_seconds))
         utilization: dict[int, float] = {}
         for r in range(self.n_replicas):
             util = busy_s[r] / duration if duration else 0.0
@@ -406,7 +528,8 @@ class DownscalingService:
                 name="serve/replica", cat="serve", rank=self.home_rank(r),
                 start_s=0.0, dur_s=duration, depth=0,
                 args={"replica": r, "ranks": self.replica_ranks(r),
-                      "utilization": util, "modeled": True}))
+                      "utilization": util,
+                      "active_s": replica_seconds[r], "modeled": True}))
         if self.cache is not None:
             metrics.gauge("serve/cache/hit_rate", self.cache.hit_rate)
             metrics.gauge("serve/cache/size", len(self.cache))

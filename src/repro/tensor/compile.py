@@ -172,6 +172,22 @@ class CompiledStep:
         except Exception:
             pass  # interpreter shutdown: counters may already be gone
 
+    @property
+    def captured(self) -> bool:
+        """Whether a plan is currently held (arena allocated)."""
+        return self._key is not None
+
+    def invalidate(self) -> None:
+        """Force a recapture on the next call.
+
+        The replan path calls this when the world it captured against no
+        longer exists — equivalent to a guard miss without charging the
+        ``guard_misses`` counter (the plan didn't *fail* a guard, it was
+        told the world changed).  Currently identical to :meth:`release`;
+        kept separate so the two intents stay distinguishable.
+        """
+        self.release()
+
     def release(self) -> None:
         """Drop the current plan and return its arena to the allocator."""
         if self._key is None:

@@ -78,6 +78,7 @@ PARALLELISMS: tuple[str, ...] = (
     "ddp", "fsdp", "tp", "ulysses", "hybrid_op", "tiles", "pipeline", "composite",
     "ddp_overlap", "fsdp_overlap", "composite_overlap",
     "ddp_compiled", "composite_compiled", "composite_overlap_compiled",
+    "grow", "shrink", "grow_compiled",
 )
 
 #: (rtol, atol) per strategy — float32 ring-reduction rounding for most;
@@ -97,6 +98,9 @@ _TOLERANCES: dict[str, tuple[float, float]] = {
     "ddp_compiled": (1e-4, 1e-5),
     "composite_compiled": (1e-4, 1e-5),
     "composite_overlap_compiled": (1e-4, 1e-5),
+    "grow": (1e-4, 1e-5),
+    "shrink": (1e-4, 1e-5),
+    "grow_compiled": (1e-4, 1e-5),
 }
 
 #: world → (tp, fsdp, tiles, ddp) for the composite oracle runs.  Chosen
@@ -293,6 +297,53 @@ def _build_composite_overlap_compiled(world, config, seed, rng):
     return _build_composite(world, config, seed, rng, overlap=True, compile=True)
 
 
+def _composite_plan(world: int) -> CompositePlan:
+    tp, fsdp, tiles, ddp = _COMPOSITE_FACTORS.get(world, (1, 1, 1, world))
+    return CompositePlan(VirtualCluster(world), tp=tp, fsdp=fsdp,
+                         tiles=tiles, ddp=ddp)
+
+
+def _build_elastic(world, config, seed, rng, grow=True, compile=False):
+    """Composite strategy built at a *different* world, then resharded.
+
+    ``grow`` starts at half the target world (4→8 at world 8), shrink at
+    double (8→4 at world 4).  The oracle then drives the resharded
+    strategy exactly like a fresh composite — passing means the live
+    reshard left no trace.  The compiled variant captures step programs
+    at the start world first, so the reshard must also invalidate them
+    and replay recaptures at the new world.
+    """
+    start = max(1, world // 2) if grow else world * 2
+    strat = CompositeStrategy(_composite_plan(start), _mse, halo=2, factor=2,
+                              bucket_bytes=1 << 12, compile=compile)
+    strat.setup(_diverse_factory(config, seed))
+    if compile:
+        # capture programs at the start world; the reshard must invalidate
+        warm_rng = np.random.default_rng(seed + 7)
+        wx = warm_rng.standard_normal(
+            (strat.plan.ddp, 2, 16, 16)).astype(np.float32)
+        wy = warm_rng.standard_normal(
+            (strat.plan.ddp, 1, 32, 32)).astype(np.float32)
+        strat.forward_backward(wx, wy)
+    strat.reshard(_composite_plan(world))
+    ddp = strat.plan.ddp
+    x = rng.standard_normal((ddp, 2, 16, 16)).astype(np.float32)
+    y = rng.standard_normal((ddp, 1, 32, 32)).astype(np.float32)
+    return strat, (x, y)
+
+
+def _build_grow(world, config, seed, rng):
+    return _build_elastic(world, config, seed, rng, grow=True)
+
+
+def _build_shrink(world, config, seed, rng):
+    return _build_elastic(world, config, seed, rng, grow=False)
+
+
+def _build_grow_compiled(world, config, seed, rng):
+    return _build_elastic(world, config, seed, rng, grow=True, compile=True)
+
+
 def _build_tp(world, config, seed, rng):
     d = config.embed_dim
     hidden = int(config.mlp_ratio * d)
@@ -385,6 +436,20 @@ _SPECS: dict[str, OracleSpec] = {
         _build_composite_overlap_compiled,
         "compiled replay firing the bucketer's ready-hooks from the "
         "backward program; overlap schedule bit-identical to eager"),
+    "grow": OracleSpec(
+        _build_grow,
+        "composite resharded up from half the world (4→8 at world 8); "
+        "the canonical remap is pure slicing, so the grown strategy "
+        "matches the reference exactly where fresh composite does"),
+    "shrink": OracleSpec(
+        _build_shrink,
+        "composite resharded down from double the world (8→4 at world "
+        "4); FSDP is the shrink axis — float64 reduce-scatter makes the "
+        "repartition exact"),
+    "grow_compiled": OracleSpec(
+        _build_grow_compiled,
+        "programs captured at the start world are invalidated by the "
+        "reshard; replay recaptures at the new world transparently"),
 }
 
 

@@ -5,7 +5,8 @@ from .engine import DistributedEngine, mse_loss
 from .inference import (build_inference_runner, evaluate_downscaling,
                         global_inference, predict_dataset)
 from .profiler import measure_sample_flops, parameter_bytes, profile_model
-from .trainer import TrainConfig, Trainer, load_checkpoint, save_checkpoint
+from .trainer import (CHECKPOINT_FORMAT_VERSION, TrainConfig, Trainer,
+                      load_checkpoint, save_checkpoint)
 
 __all__ = [
     "Trainer",
@@ -13,6 +14,7 @@ __all__ = [
     "mse_loss",
     "OrthogonalTrainer",
     "TrainConfig",
+    "CHECKPOINT_FORMAT_VERSION",
     "save_checkpoint",
     "load_checkpoint",
     "build_inference_runner",

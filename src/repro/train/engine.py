@@ -32,16 +32,19 @@ collectives degenerate to copies and the flat AdamW update is shared.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
 from ..core.losses import LatitudeTileLoss
 from ..data.datasets import DownscalingDataset
 from ..data.grids import latitude_weights
+from ..distributed.elastic import CanonicalState, FaultPlan
 from ..distributed.strategy import CompositePlan, CompositeStrategy
 from ..nn import AdamW
-from ..obs.tracer import span
+from ..obs.tracer import active_tracer, span
 from ..tensor import Tensor
-from .trainer import TrainConfig, Trainer
+from .trainer import TrainConfig, Trainer, load_checkpoint, save_checkpoint
 
 __all__ = ["DistributedEngine", "mse_loss"]
 
@@ -139,6 +142,8 @@ class DistributedEngine(Trainer):
         # Trainer installs the full-grid Bayesian loss; the engine's
         # objective is the per-tile loss (see the module docstring)
         self.loss_fn = self._tile_loss
+        self._fault_plan: FaultPlan | None = None
+        self.replan_log: list[dict] = []
 
     # ------------------------------------------------------------------ #
     # hooks
@@ -185,6 +190,111 @@ class DistributedEngine(Trainer):
         if self.cast is not None:
             pred = self.cast(pred)
         return self.loss_fn(pred, Tensor(batch.targets))
+
+    # ------------------------------------------------------------------ #
+    # elasticity: live replan, rank-failure recovery, checkpointing
+    # ------------------------------------------------------------------ #
+    def export_state(self) -> CanonicalState:
+        """Snapshot the run into the plan-independent canonical form."""
+        m, v, t = self._unit_optimizers[0].export_state()
+        extra: dict = {}
+        if self.scaler is not None:
+            extra["loss_scale"] = self.scaler.scale_value
+        return CanonicalState(data=self.strategy.export_state(),
+                              adam_m=m, adam_v=v, adam_t=t,
+                              step=self._step, extra=extra)
+
+    def import_state(self, state: CanonicalState) -> None:
+        """Restore a canonical snapshot onto the current plan, bitwise."""
+        self.strategy.import_state(state.data)
+        if state.adam_m is not None:
+            for opt in self._unit_optimizers:
+                opt.import_state(state.adam_m, state.adam_v, state.adam_t)
+        self._step = int(state.step)
+        if self.scaler is not None and "loss_scale" in state.extra:
+            self.scaler.scale_value = float(state.extra["loss_scale"])
+
+    def replan(self, new_plan: CompositePlan) -> dict:
+        """Reshard the live run onto ``new_plan``; returns a replan report.
+
+        Re-validates the new plan against the run's batch semantics,
+        exports canonical state, rebuilds units/groups/buckets through
+        :meth:`CompositeStrategy.reshard` (which also invalidates every
+        captured :class:`~repro.tensor.compile.CompiledStep` so compiled
+        replay recaptures transparently), rebuilds the per-unit
+        optimizers on the new flat buffers, and re-imports parameters +
+        AdamW moments.  The next training step is bitwise-identical to a
+        fresh engine at the new world fed the same canonical state.
+        """
+        from ..distributed.perf_model import reshard_cost
+
+        if self.config.batch_size != new_plan.ddp:
+            raise ValueError(
+                f"batch_size {self.config.batch_size} != new plan "
+                f"data-parallel ways {new_plan.ddp}"
+            )
+        old_plan = self.plan
+        state = self.export_state()
+        t0 = time.perf_counter()
+        with span("replan/engine", cat="replan",
+                  old=str(old_plan.level_sizes()),
+                  new=str(new_plan.level_sizes())):
+            self.strategy.reshard(new_plan)
+            self.plan = new_plan
+            with span("replan/optimizers", cat="replan"):
+                self.optimizer = self._build_optimizer()
+                for opt in self._unit_optimizers:
+                    opt.import_state(state.adam_m, state.adam_v, state.adam_t)
+            self.model = self.strategy.units()[0]
+        downtime_s = time.perf_counter() - t0
+        cost = reshard_cost(old_plan, new_plan, state.nbytes)
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.metrics.inc("replan/count")
+            tracer.metrics.observe("replan/downtime_s", downtime_s)
+            tracer.metrics.observe("replan/modeled_downtime_s",
+                                   cost["downtime_s"])
+        report = {
+            "old": old_plan.layout(), "new": new_plan.layout(),
+            "step": self._step, "state_bytes": state.nbytes,
+            "downtime_s": downtime_s, "modeled": cost,
+        }
+        self.replan_log.append(report)
+        return report
+
+    def attach_fault_plan(self, fault_plan: FaultPlan) -> None:
+        """Arm scripted rank failures; recovery runs through replan."""
+        self._fault_plan = fault_plan
+
+    def _train_step_impl(self, batch) -> float:
+        fp = self._fault_plan
+        if fp is not None:
+            dead = fp.dead_at(self._step)
+            if dead:
+                bad = [r for r in dead if not 0 <= r < self.plan.world]
+                if bad:
+                    raise ValueError(
+                        f"fault plan kills ranks {bad} outside world "
+                        f"{self.plan.world}")
+                survivors = self.plan.world - len(dead)
+                with span("replan/failure", cat="replan",
+                          step=self._step, dead=str(list(dead))):
+                    report = self.replan(self.plan.shrink_to(survivors))
+                report["dead_ranks"] = list(dead)
+                tracer = active_tracer()
+                if tracer is not None:
+                    tracer.metrics.inc("replan/rank_failures", len(dead))
+        return super()._train_step_impl(batch)
+
+    def save(self, path, extra: dict | None = None) -> None:
+        """Checkpoint unit 0 with this run's plan-layout metadata."""
+        save_checkpoint(self.model, path, extra=extra, plan=self.plan)
+
+    def load(self, path) -> dict:
+        """Load a checkpoint, validating its layout against this plan."""
+        extra = load_checkpoint(self.model, path, expect_plan=self.plan)
+        self.sync_units()
+        return extra
 
     # ------------------------------------------------------------------ #
     def sync_units(self) -> None:

@@ -16,7 +16,8 @@ from ..nn import AdamW, Bf16Cast, GradScaler, Module, clip_grad_norm, warmup_cos
 from ..obs.tracer import active_tracer, span
 from ..tensor import CompiledStep, Tensor, no_grad
 
-__all__ = ["TrainConfig", "Trainer", "save_checkpoint", "load_checkpoint"]
+__all__ = ["TrainConfig", "Trainer", "save_checkpoint", "load_checkpoint",
+           "CHECKPOINT_FORMAT_VERSION"]
 
 
 @dataclass
@@ -218,16 +219,65 @@ class Trainer:
         return self.history
 
 
-def save_checkpoint(model: Module, path: str | Path, extra: dict | None = None) -> None:
-    """Serialize model weights (+ optional metadata) to ``path``."""
-    payload = {"state": model.state_dict(), "extra": extra or {}}
+CHECKPOINT_FORMAT_VERSION = 2
+"""v1 payloads had no ``format_version`` key and no plan metadata; v2
+embeds both so resuming a resharded run validates the layout instead of
+silently loading mismatched flat-buffer slices."""
+
+
+def _plan_layout(plan) -> dict | None:
+    if plan is None:
+        return None
+    return dict(plan.layout() if hasattr(plan, "layout") else plan)
+
+
+def save_checkpoint(model: Module, path: str | Path, extra: dict | None = None,
+                    plan=None) -> None:
+    """Serialize model weights (+ optional metadata) to ``path``.
+
+    ``plan`` (a :class:`~repro.distributed.strategy.CompositePlan` or a
+    layout dict) is embedded so a later load can validate that the
+    resuming run's layout matches — or deliberately differs via a
+    reshard — instead of silently assuming it.
+    """
+    payload = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "state": model.state_dict(),
+        "extra": extra or {},
+        "plan": _plan_layout(plan),
+    }
     with open(path, "wb") as f:
         pickle.dump(payload, f)
 
 
-def load_checkpoint(model: Module, path: str | Path) -> dict:
-    """Load weights saved by :func:`save_checkpoint`; returns the metadata."""
+def load_checkpoint(model: Module, path: str | Path, expect_plan=None) -> dict:
+    """Load weights saved by :func:`save_checkpoint`; returns the metadata.
+
+    Passing ``expect_plan`` validates the checkpoint's embedded layout
+    against the resuming run's plan.  A mismatch raises with both
+    layouts — resume at the saved layout and ``reshard`` to the new one,
+    or re-save after the reshard.  Legacy (v1) checkpoints carry no
+    layout, so requesting validation against one is also an error.
+    """
     with open(path, "rb") as f:
         payload = pickle.load(f)
+    version = payload.get("format_version", 1)
+    if version > CHECKPOINT_FORMAT_VERSION:
+        raise ValueError(
+            f"checkpoint format v{version} is newer than supported "
+            f"v{CHECKPOINT_FORMAT_VERSION}")
+    if expect_plan is not None:
+        expected = _plan_layout(expect_plan)
+        saved = payload.get("plan")
+        if saved is None:
+            raise ValueError(
+                "checkpoint has no plan-layout metadata (format "
+                f"v{version}); cannot validate against {expected} — "
+                "re-save it with the current format to enable validation")
+        if dict(saved) != expected:
+            raise ValueError(
+                f"checkpoint layout {dict(saved)} != resuming layout "
+                f"{expected}; resume at the saved layout and reshard, or "
+                "re-save the checkpoint after the reshard")
     model.load_state_dict(payload["state"])
     return payload["extra"]
