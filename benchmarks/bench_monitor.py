@@ -1,0 +1,208 @@
+"""Monitor gates: enabled overhead, alert correctness, determinism.
+
+Three properties keep the monitoring layer honest, measured in one
+process and recorded to repo-root ``BENCH_monitor.json``:
+
+1. **Overhead** — feeding the full detector pack (every ``train/…``
+   series, rule evaluation, flight-ring breadcrumb) must cost under
+   ``MAX_OVERHEAD − 1`` of the step.  The contract is enforced on the
+   isolated per-step feed cost — measured over 256 calls, it is stable
+   where the end-to-end A/B ratio wobbles with machine noise several
+   times the budget — and the interleaved A/B ratio is additionally
+   held under a loose ``SANITY_OVERHEAD`` to rule out gross regressions
+   on the monitored path itself.
+2. **Alert correctness** — each fault-injected scenario from
+   :mod:`repro.obs.scenarios` fires every rule it was built to trip, and
+   the clean baselines fire none.
+3. **Determinism** — the same seeded scenario replays to a
+   bitwise-identical alert timeline and flight-recorder dump.
+
+Run directly (``python benchmarks/bench_monitor.py``) to print the
+measurements and exit non-zero on any gate failure, or via pytest.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+import warnings
+from pathlib import Path
+
+from repro.obs import Monitor, default_train_rules
+from repro.obs.scenarios import run_monitor_scenario
+
+from benchmarks.bench_obs_overhead import _build_trainer
+
+MAX_OVERHEAD = 1.03  # <3% of the step may go to monitoring
+
+#: the end-to-end A/B ratio additionally has to clear this loose sanity
+#: bound: step-time noise on a busy machine swamps a sub-0.1% monitor
+#: (the measured ratio swings several percent run to run), so the hard
+#: <3% contract is enforced on the isolated per-step monitor cost and
+#: the A/B only has to rule out a gross regression
+SANITY_OVERHEAD = 1.25
+
+BENCH_MONITOR_PATH = Path(__file__).parent.parent / "BENCH_monitor.json"
+
+#: (scenario, inject) pairs the correctness gate runs; "none" rows must
+#: stay silent, the rest must fire their EXPECTED_RULES
+GATE_CASES = (("train", "none"), ("train", "nan"),
+              ("serve", "none"), ("serve", "burst"))
+
+
+def measure_overhead(key: str = "medium", repeats: int = 15,
+                     warmup: int = 5) -> dict:
+    """Best-of wall-clock for unmonitored vs monitored steps, one trainer.
+
+    Methodology matters more than the arithmetic here: step time settles
+    over the first few iterations and then wobbles around its floor, so
+    the arms are **interleaved** (raw, monitored, raw, monitored, …)
+    after a real warmup, with the GC parked — a sequential A/B charges
+    all of the drift to the second arm, and a sub-1% monitor reads as
+    several percent.  Best-of-N of each arm converges on the floor.
+    The direct per-step feed cost is measured too, as the
+    noise-independent ground truth alongside the end-to-end ratio.
+    """
+    trainer, batch = _build_trainer(key)
+    assert trainer.monitor is None
+    monitor = Monitor(default_train_rules(trainer.config.grad_clip))
+    monitor.add_state_provider(trainer._monitor_state)
+    for _ in range(warmup):
+        trainer.train_step(batch)
+    raw_s = monitored_s = float("inf")
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            trainer.monitor = None
+            t0 = time.perf_counter()
+            trainer.train_step(batch)
+            raw_s = min(raw_s, time.perf_counter() - t0)
+            trainer.monitor = monitor
+            t0 = time.perf_counter()
+            trainer.train_step(batch)
+            monitored_s = min(monitored_s, time.perf_counter() - t0)
+        # the monitor branch in isolation: what train_step adds per step
+        t0 = time.perf_counter()
+        for _ in range(256):
+            trainer._feed_monitor(monitor, 1.0, raw_s, len(batch.inputs))
+        feed_s = (time.perf_counter() - t0) / 256
+    finally:
+        gc.enable()
+    trainer.monitor = None
+    return {"raw_step_s": raw_s, "monitored_step_s": monitored_s,
+            "overhead_ratio": monitored_s / raw_s if raw_s > 0 else 1.0,
+            "feed_monitor_s": feed_s,
+            "feed_share": feed_s / raw_s if raw_s > 0 else 0.0,
+            "samples_per_step": len(monitor.series.windows)}
+
+
+def _run(scenario: str, inject: str):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return run_monitor_scenario(scenario, inject, steps=8, seed=0)
+
+
+def measure_scenarios() -> dict:
+    """Alert counts + expectation check per gate scenario."""
+    out: dict = {}
+    for scenario, inject in GATE_CASES:
+        result = _run(scenario, inject)
+        out[f"{scenario}_{inject}"] = {
+            "alerts": len(result.monitor.alerts),
+            "expected_fired": result.ok,
+            "verdict": result.monitor.verdict(),
+        }
+    return out
+
+
+def measure_determinism(scenario: str = "train", inject: str = "nan") -> dict:
+    """Two fresh runs of one seeded scenario: timelines and dumps match?"""
+    def artifacts():
+        result = _run(scenario, inject)
+        mon = result.monitor
+        snap = mon.recorder.snapshot(mon, reason="bench")
+        return (json.dumps(mon.alert_timeline(), sort_keys=True),
+                json.dumps(snap, sort_keys=True))
+
+    (t1, d1), (t2, d2) = artifacts(), artifacts()
+    return {"bitwise_timeline": t1 == t2, "bitwise_dump": d1 == d2}
+
+
+def gates(overhead: dict, scenarios: dict, determinism: dict) -> list[str]:
+    failures = []
+    if not overhead["feed_share"] < MAX_OVERHEAD - 1.0:
+        failures.append(
+            f"monitor feed costs {overhead['feed_share']:.1%} of the step "
+            f"(budget {MAX_OVERHEAD - 1.0:.0%})")
+    if not overhead["overhead_ratio"] < SANITY_OVERHEAD:
+        failures.append(
+            f"monitored step is {overhead['overhead_ratio']:.3f}x the "
+            f"unmonitored step (sanity bound {SANITY_OVERHEAD}x)")
+    for name, row in scenarios.items():
+        if name.endswith("_none"):
+            if row["alerts"]:
+                failures.append(f"clean scenario {name} fired "
+                                f"{row['alerts']} alert(s)")
+        elif not row["expected_fired"]:
+            failures.append(f"injected scenario {name} missed its "
+                            "intended rules")
+    if not (determinism["bitwise_timeline"] and determinism["bitwise_dump"]):
+        failures.append("seeded scenario did not replay bitwise")
+    return failures
+
+
+def record(metrics: dict) -> Path:
+    doc = {"schema": "bench_monitor/v1"}
+    if BENCH_MONITOR_PATH.exists():
+        try:
+            existing = json.loads(BENCH_MONITOR_PATH.read_text())
+            if existing.get("schema") == doc["schema"]:
+                doc = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # rewrite a corrupt file from scratch
+    doc.update(metrics)
+    BENCH_MONITOR_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True)
+                                  + "\n")
+    return BENCH_MONITOR_PATH
+
+
+def test_monitor_bench():
+    overhead = measure_overhead()
+    scenarios = measure_scenarios()
+    determinism = measure_determinism()
+    record({"overhead": overhead, "scenarios": scenarios,
+            "determinism": determinism})
+    assert not gates(overhead, scenarios, determinism)
+
+
+def main() -> int:
+    overhead = measure_overhead()
+    scenarios = measure_scenarios()
+    determinism = measure_determinism()
+    path = record({"overhead": overhead, "scenarios": scenarios,
+                   "determinism": determinism})
+    print(f"unmonitored step:  {overhead['raw_step_s'] * 1e3:8.3f} ms")
+    print(f"monitored step:    {overhead['monitored_step_s'] * 1e3:8.3f} ms")
+    print(f"monitor feed:      {overhead['feed_monitor_s'] * 1e6:8.1f} us "
+          f"= {overhead['feed_share']:.2%} of the step "
+          f"(budget {MAX_OVERHEAD - 1.0:.0%})")
+    print(f"overhead ratio:    {overhead['overhead_ratio']:8.3f}x "
+          f"(sanity bound {SANITY_OVERHEAD}x)")
+    for name, row in scenarios.items():
+        print(f"scenario {name:<14s} alerts={row['alerts']:<3d} "
+              f"verdict={row['verdict']:<9s} "
+              f"{'ok' if row['expected_fired'] else 'MISSED RULES'}")
+    print(f"determinism:       timeline={determinism['bitwise_timeline']} "
+          f"dump={determinism['bitwise_dump']}")
+    print(f"[bench_monitor] wrote {path}")
+    failures = gates(overhead, scenarios, determinism)
+    for f in failures:
+        print(f"[bench_monitor] GATE FAILED: {f}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -18,6 +18,13 @@ Entry points for downstream users who want results without writing code:
   service (queue, dynamic batching, tile cache, replicas) and print the
   latency/throughput/utilization report; ``--replicas 0`` sizes the
   fleet against the SLO via ``perf_model.serve_report``;
+* ``repro monitor`` — run a seeded health-monitoring scenario (clean or
+  fault-injected) and print the alert timeline + verdict; optionally
+  write the flight-recorder dump and an alert-annotated Chrome trace;
+* ``repro health``  — render a flight-recorder dump as a one-screen
+  health summary;
+* ``repro bench-diff`` — per-metric diff of a fresh ``BENCH_*.json``
+  against the committed baseline, exiting nonzero on regression;
 * ``repro export``   — materialize a dataset split to a ``.npz`` archive.
 
 Run ``python -m repro.cli <command> --help`` for options.
@@ -155,6 +162,48 @@ def build_parser() -> argparse.ArgumentParser:
                          "trace JSON")
     sv.add_argument("--metrics-out", default=None,
                     help="dump the service metrics registry to this path")
+
+    mo = sub.add_parser("monitor", help="run a seeded health-monitoring "
+                                        "scenario, print the alert "
+                                        "timeline + verdict")
+    mo.add_argument("--scenario", choices=["train", "elastic", "serve"],
+                    default="train")
+    mo.add_argument("--inject", default="none",
+                    help="fault to inject: none | nan | loss-spike | "
+                         "thrash (train), rank-death (elastic), "
+                         "burst (serve)")
+    mo.add_argument("--steps", type=int, default=12,
+                    help="train/elastic steps to run")
+    mo.add_argument("--quick", action="store_true",
+                    help="fewest steps that still trip the injected rules "
+                         "(CI smoke run)")
+    mo.add_argument("--seed", type=int, default=0)
+    mo.add_argument("--dump-out", default=None,
+                    help="write the flight-recorder dump JSON here")
+    mo.add_argument("--trace-out", default=None,
+                    help="also write a Chrome trace with alert "
+                         "annotations (train/elastic scenarios)")
+    mo.add_argument("--wall-metrics", action="store_true",
+                    help="keep wall-clock-derived series (step_s, "
+                         "samples_per_s); off by default so the alert "
+                         "timeline and dump are bitwise-reproducible")
+
+    he = sub.add_parser("health", help="one-screen health summary from a "
+                                       "flight-recorder dump")
+    he.add_argument("dump", help="flight-recorder dump JSON "
+                                 "(from repro monitor --dump-out or an "
+                                 "auto-dump)")
+
+    bd = sub.add_parser("bench-diff", help="diff a fresh BENCH_*.json "
+                                           "against the committed one; "
+                                           "exit 1 on regression")
+    bd.add_argument("old", help="baseline benchmark JSON (committed)")
+    bd.add_argument("new", help="fresh benchmark JSON")
+    bd.add_argument("--rtol", type=float, default=0.5,
+                    help="relative tolerance before a change counts "
+                         "(wall timings are noisy; default 0.5)")
+    bd.add_argument("--strict", action="store_true",
+                    help="also fail on drift (non-timing changes)")
 
     x = sub.add_parser("export", help="export a dataset split to .npz")
     x.add_argument("--grid", type=int, nargs=2, default=(32, 64))
@@ -545,6 +594,73 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_monitor(args) -> int:
+    from repro.obs.scenarios import run_monitor_scenario
+
+    steps = 8 if args.quick else args.steps
+    try:
+        result = run_monitor_scenario(
+            args.scenario, args.inject, steps=steps, seed=args.seed,
+            wall_metrics=args.wall_metrics, trace=bool(args.trace_out))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    monitor = result.monitor
+    print(f"monitor scenario: {args.scenario} (inject={args.inject}, "
+          f"seed={args.seed})")
+    print(monitor.timeline_text(), end="")
+    status = "ok" if result.ok else "UNEXPECTED"
+    print(f"verdict: {monitor.verdict()}  [{status}]")
+    if result.expected_rules:
+        fired = [r for r in result.expected_rules if monitor.fired(r)]
+        line = (f"expected rules fired: {len(fired)}/"
+                f"{len(result.expected_rules)}")
+        if result.missing_rules:
+            line += f"  (missing: {', '.join(result.missing_rules)})"
+        print(line)
+    if args.dump_out:
+        path = monitor.dump(args.dump_out,
+                            reason=f"cli:{args.scenario}:{args.inject}")
+        print(f"flight-recorder dump written to {path}")
+    if args.trace_out and result.tracer is not None:
+        result.tracer.export_chrome(args.trace_out,
+                                    alerts=monitor.alert_timeline())
+        print(f"trace with {len(monitor.alerts)} alert annotation(s) "
+              f"written to {args.trace_out} "
+              f"(load at https://ui.perfetto.dev)")
+    return 0 if result.ok else 1
+
+
+def _cmd_health(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs import health_summary
+
+    try:
+        doc = json.loads(Path(args.dump).read_text())
+        summary = health_summary(doc)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(summary, end="")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.testing.benchdiff import diff_files, render_deltas
+
+    try:
+        deltas = diff_files(args.old, args.new, rtol=args.rtol)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_deltas(deltas, old_name=args.old, new_name=args.new))
+    failed = any(d.is_regression or (args.strict and d.status == "drift")
+                 for d in deltas)
+    return 1 if failed else 0
+
+
 def _cmd_export(args) -> int:
     from repro.data.io import export_dataset
 
@@ -560,7 +676,9 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {"train": _cmd_train, "evaluate": _cmd_evaluate,
                 "scale": _cmd_scale, "plan": _cmd_plan,
                 "profile": _cmd_profile, "trace": _cmd_trace,
-                "serve": _cmd_serve, "export": _cmd_export}
+                "serve": _cmd_serve, "monitor": _cmd_monitor,
+                "health": _cmd_health, "bench-diff": _cmd_bench_diff,
+                "export": _cmd_export}
     return handlers[args.command](args)
 
 

@@ -19,7 +19,7 @@ __all__ = ["chrome_trace", "write_chrome_trace", "span_coverage",
            "summary_table", "step_summary", "replan_summary"]
 
 
-def chrome_trace(spans: Iterable[Span]) -> dict:
+def chrome_trace(spans: Iterable[Span], alerts: Iterable = ()) -> dict:
     """Spans -> Chrome ``trace_event`` document (JSON-ready dict).
 
     Single-stream traces map one rank to one ``tid``.  When any span
@@ -27,6 +27,11 @@ def chrome_trace(spans: Iterable[Span]) -> dict:
     stream), each rank gets **two** tracks — ``tid = 2·rank`` for
     compute and ``2·rank + 1`` for comm — so overlap is visible as
     parallel bars in Perfetto.
+
+    ``alerts`` (``repro.obs.monitor.Alert`` records or their dicts) are
+    annotated as process-scoped instant events (``ph: "i"``) named
+    ``alert/<rule>``, so rule firings show as markers on the same
+    timeline as the spans that caused them.
     """
     spans = list(spans)
     two_stream = any(getattr(sp, "stream", "main") != "main" for sp in spans)
@@ -50,6 +55,17 @@ def chrome_trace(spans: Iterable[Span]) -> dict:
             "dur": sp.dur_s * 1e6,
             "args": sp.args,
         })
+    for alert in alerts:
+        a = alert if isinstance(alert, dict) else alert.as_dict()
+        events.append({
+            "ph": "i", "s": "p",
+            "name": f"alert/{a['rule']}",
+            "cat": "alert",
+            "pid": 0, "tid": 0,
+            "ts": a["t"] * 1e6,
+            "args": {"metric": a["metric"], "value": a["value"],
+                     "severity": a["severity"], **a.get("detail", {})},
+        })
     meta = [{"ph": "M", "name": "process_name", "pid": 0,
              "args": {"name": "repro (virtual cluster)"}}]
     if two_stream:
@@ -64,9 +80,11 @@ def chrome_trace(spans: Iterable[Span]) -> dict:
     return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
 
 
-def write_chrome_trace(path: str | Path, spans: Iterable[Span]) -> Path:
+def write_chrome_trace(path: str | Path, spans: Iterable[Span],
+                       alerts: Iterable = ()) -> Path:
     path = Path(path)
-    path.write_text(json.dumps(chrome_trace(spans), indent=1) + "\n")
+    path.write_text(json.dumps(chrome_trace(spans, alerts=alerts), indent=1)
+                    + "\n")
     return path
 
 

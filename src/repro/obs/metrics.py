@@ -8,6 +8,7 @@ the dump groups naturally and exporters can prefix-filter.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 __all__ = ["Histogram", "MetricsRegistry"]
@@ -16,16 +17,32 @@ __all__ = ["Histogram", "MetricsRegistry"]
 #: count/sum/min/max stay exact beyond it
 _RESERVOIR = 4096
 
+#: fixed reservoir seed — replacement decisions must replay identically
+#: across runs (the serving determinism contract covers metric dumps)
+_RESERVOIR_SEED = 0x5EED
+
 
 @dataclass
 class Histogram:
-    """Streaming summary of observed values."""
+    """Streaming summary of observed values.
+
+    Percentiles come from a bounded reservoir maintained by seeded
+    Algorithm R: once full, observation ``n`` replaces a uniformly
+    chosen slot with probability ``RESERVOIR/n``, so the reservoir stays
+    a uniform sample of *everything* observed — a late distribution
+    shift moves p50/p99 instead of being silently dropped (the old
+    keep-the-first-4096 behaviour).  The RNG is seeded per histogram, so
+    the same observation sequence reproduces the same reservoir bitwise.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = float("inf")
     max: float = float("-inf")
     _values: list[float] = field(default_factory=list, repr=False)
+    _rng: random.Random = field(
+        default_factory=lambda: random.Random(_RESERVOIR_SEED), repr=False,
+        compare=False)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -35,6 +52,11 @@ class Histogram:
         self.max = max(self.max, value)
         if len(self._values) < _RESERVOIR:
             self._values.append(value)
+        else:
+            # Algorithm R: keep with probability RESERVOIR/count
+            j = self._rng.randrange(self.count)
+            if j < _RESERVOIR:
+                self._values[j] = value
 
     @property
     def mean(self) -> float:

@@ -263,9 +263,9 @@ class Tracer:
     # ------------------------------------------------------------------ #
     # export conveniences (delegate to repro.obs.export)
     # ------------------------------------------------------------------ #
-    def export_chrome(self, path) -> None:
+    def export_chrome(self, path, alerts=()) -> None:
         from .export import write_chrome_trace
-        write_chrome_trace(path, self.spans)
+        write_chrome_trace(path, self.spans, alerts=alerts)
 
     def summary(self) -> str:
         from .export import summary_table

@@ -323,11 +323,18 @@ class DownscalingService:
     # ------------------------------------------------------------------ #
     # the discrete-event loop
     # ------------------------------------------------------------------ #
-    def run(self, requests: list[Request]) -> ServeResult:
+    def run(self, requests: list[Request], monitor=None) -> ServeResult:
         """Serve every request; returns responses + spans + metrics.
 
         Deterministic: the same request list on the same service
         configuration produces the identical result, event for event.
+
+        ``monitor`` (a :class:`repro.obs.monitor.Monitor`) receives the
+        health stream on the simulated clock: per-request latency
+        (``serve/latency_s``), queue depth and a shed indicator at every
+        arrival, and ``scale_up``/``scale_down`` events annotating the
+        autoscaler's decisions — so SLO-burn/queue/shed rules evaluate
+        at deterministic timestamps and replay bitwise.
         """
         clock = SimClock.frozen()
         metrics = MetricsRegistry()
@@ -383,6 +390,10 @@ class DownscalingService:
                 window_open[r] = now
                 last_scale = now
                 metrics.inc("serve/scale_up")
+                if monitor is not None:
+                    monitor.event("scale_up", t=now, replica=r,
+                                  queue_depth=len(pending),
+                                  active=sum(active))
                 spans.append(Span(
                     name="serve/scale_up", cat="serve",
                     rank=self.home_rank(r), start_s=now, dur_s=au.spinup_s,
@@ -403,6 +414,9 @@ class DownscalingService:
                     replica_seconds[r] += now - window_open.pop(r)
                     last_scale = now
                     metrics.inc("serve/scale_down")
+                    if monitor is not None:
+                        monitor.event("scale_down", t=now, replica=r,
+                                      active=sum(active))
                     break
 
         def try_dispatch(now: float) -> None:
@@ -454,6 +468,9 @@ class DownscalingService:
             metrics.inc("serve/requests")
             metrics.observe("serve/latency_s", complete_s - req.arrival_s)
             metrics.observe("serve/queue_wait_s", dispatch_s - req.arrival_s)
+            if monitor is not None:
+                monitor.record("serve/latency_s", complete_s - req.arrival_s,
+                               t=complete_s)
 
         duration = 0.0
         while heap:
@@ -472,6 +489,7 @@ class DownscalingService:
                             cache_hit=False, output=output)
             elif kind == _ARRIVAL:
                 req = payload
+                shed_this = 0.0
                 hit = _MISS_SENTINEL
                 if self.cache is not None:
                     hit = self.cache.get(self._key(req), _MISS_SENTINEL)
@@ -492,6 +510,7 @@ class DownscalingService:
                     # rejections can't masquerade as fast service.
                     metrics.inc("serve/shed")
                     metrics.inc("serve/requests")
+                    shed_this = 1.0
                     responses[req.rid] = Response(
                         request=req, dispatch_s=now, complete_s=now,
                         replica=None, batch_size=0, cache_hit=False,
@@ -502,6 +521,9 @@ class DownscalingService:
                          _DEADLINE, None)
                     maybe_scale_up(now)
                 metrics.observe("serve/queue_depth", len(pending))
+                if monitor is not None:
+                    monitor.record("serve/queue_depth", len(pending), t=now)
+                    monitor.record("serve/shed_event", shed_this, t=now)
             # _DEADLINE events carry no state; they exist to wake the
             # batcher at the max-wait boundary
             try_dispatch(now)

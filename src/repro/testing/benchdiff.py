@@ -1,0 +1,149 @@
+"""Benchmark regression diffing: fresh BENCH JSON vs the committed one.
+
+Every benchmark in ``benchmarks/`` writes a ``BENCH_*.json`` document at
+the repo root.  :func:`diff_docs` walks two such documents (any nesting
+of dicts/lists) and classifies every leaf-level change:
+
+* **regression** — a time-like metric got slower beyond tolerance, a
+  boolean invariant flipped from true to false, or a metric disappeared;
+* **drift** — a numeric value moved beyond tolerance in a direction we
+  don't score (counts, sizes, improvements on timings);
+* **added** — a new metric appeared (informational).
+
+Direction is inferred from the leaf key: names ending in ``_s`` or
+containing ``overhead``/``downtime``/``latency`` are wall-time-like, so
+only increases count against them.  Counts and other numbers have no
+universal "better", so they can only drift.  Wall timings are noisy —
+the default tolerance is deliberately loose (``rtol=0.5``) and CI passes
+its own; the hard performance gates stay in-process inside each
+benchmark (A/B ratios are robust where absolute timings are not).
+
+``repro bench-diff OLD NEW`` renders the classified deltas and exits
+nonzero iff any regression was found (``--strict`` also fails drift).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["MetricDelta", "diff_docs", "diff_files", "render_deltas"]
+
+#: leaf-key fragments that mark a metric as "lower is better"
+_TIME_HINTS = ("overhead", "downtime", "latency")
+
+
+def _is_timing(key: str) -> bool:
+    k = key.lower()
+    return k.endswith("_s") or any(h in k for h in _TIME_HINTS)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One classified leaf-level change between two benchmark documents."""
+
+    path: str            # dotted path, list indices in brackets
+    old: object
+    new: object
+    status: str          # "regression" | "drift" | "added" | "removed"
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status in ("regression", "removed")
+
+    def describe(self) -> str:
+        if self.status == "added":
+            return f"+ {self.path} = {self.new!r} (new metric)"
+        if self.status == "removed":
+            return f"- {self.path} (was {self.old!r}, gone)"
+        arrow = f"{self.old!r} -> {self.new!r}"
+        if (isinstance(self.old, (int, float)) and self.old
+                and isinstance(self.new, (int, float))
+                and not isinstance(self.old, bool)
+                and not isinstance(self.new, bool)):
+            arrow += f" ({(self.new - self.old) / abs(self.old):+.1%})"
+        tag = "REGRESSION" if self.status == "regression" else "drift"
+        return f"! {self.path}: {arrow} [{tag}]"
+
+
+def _leaf_delta(path: str, key: str, old, new, rtol: float,
+                atol: float) -> MetricDelta | None:
+    if isinstance(old, bool) or isinstance(new, bool):
+        if old == new:
+            return None
+        status = "regression" if old is True else "drift"
+        return MetricDelta(path, old, new, status)
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if old == new:
+            return None
+        if not (math.isfinite(old) and math.isfinite(new)):
+            return MetricDelta(path, old, new, "regression")
+        if abs(new - old) <= atol + rtol * abs(old):
+            return None
+        if _is_timing(key) and new > old:
+            return MetricDelta(path, old, new, "regression")
+        return MetricDelta(path, old, new, "drift")
+    if old != new:
+        return MetricDelta(path, old, new, "drift")
+    return None
+
+
+def diff_docs(old, new, *, rtol: float = 0.5,
+              atol: float = 1e-9) -> list[MetricDelta]:
+    """Classified leaf differences between two benchmark documents."""
+    out: list[MetricDelta] = []
+    _walk(old, new, "", "", rtol, atol, out)
+    return out
+
+
+def _walk(old, new, path: str, key: str, rtol: float, atol: float,
+          out: list[MetricDelta]) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for k in sorted(old.keys() | new.keys()):
+            sub = f"{path}.{k}" if path else str(k)
+            if k not in new:
+                out.append(MetricDelta(sub, old[k], None, "removed"))
+            elif k not in old:
+                out.append(MetricDelta(sub, None, new[k], "added"))
+            else:
+                _walk(old[k], new[k], sub, str(k), rtol, atol, out)
+        return
+    if isinstance(old, list) and isinstance(new, list):
+        for i in range(max(len(old), len(new))):
+            sub = f"{path}[{i}]"
+            if i >= len(new):
+                out.append(MetricDelta(sub, old[i], None, "removed"))
+            elif i >= len(old):
+                out.append(MetricDelta(sub, None, new[i], "added"))
+            else:
+                _walk(old[i], new[i], sub, key, rtol, atol, out)
+        return
+    delta = _leaf_delta(path, key, old, new, rtol, atol)
+    if delta is not None:
+        out.append(delta)
+
+
+def diff_files(old_path, new_path, *, rtol: float = 0.5,
+               atol: float = 1e-9) -> list[MetricDelta]:
+    """:func:`diff_docs` over two JSON files on disk."""
+    old = json.loads(Path(old_path).read_text())
+    new = json.loads(Path(new_path).read_text())
+    return diff_docs(old, new, rtol=rtol, atol=atol)
+
+
+def render_deltas(deltas: list[MetricDelta], *, old_name: str = "old",
+                  new_name: str = "new") -> str:
+    """Human-readable report; one line per change plus a verdict line."""
+    lines = [f"bench-diff: {old_name} -> {new_name}"]
+    if not deltas:
+        lines.append("  no changes beyond tolerance")
+    for d in deltas:
+        lines.append("  " + d.describe())
+    regressions = sum(d.is_regression for d in deltas)
+    drift = sum(d.status == "drift" for d in deltas)
+    added = sum(d.status == "added" for d in deltas)
+    lines.append(f"  {regressions} regression(s), {drift} drifted, "
+                 f"{added} added")
+    return "\n".join(lines)

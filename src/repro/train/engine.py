@@ -106,7 +106,7 @@ class DistributedEngine(Trainer):
                  latitude_loss: bool = False,
                  overlap: bool = False, bucket_bytes: int = 1 << 16,
                  val_dataset: DownscalingDataset | None = None,
-                 compile: bool = False):
+                 compile: bool = False, monitor=None):
         if config.batch_size != plan.ddp:
             raise ValueError(
                 f"batch_size {config.batch_size} != plan data-parallel "
@@ -138,12 +138,17 @@ class DistributedEngine(Trainer):
                 if getattr(self, "scaler", None) is not None else None))
         self.strategy.setup(model_factory)
         super().__init__(self.strategy.units()[0], dataset, config,
-                         val_dataset=val_dataset)
+                         val_dataset=val_dataset, monitor=monitor)
         # Trainer installs the full-grid Bayesian loss; the engine's
         # objective is the per-tile loss (see the module docstring)
         self.loss_fn = self._tile_loss
         self._fault_plan: FaultPlan | None = None
         self.replan_log: list[dict] = []
+        # graph counters are process-global and cumulative; baseline them
+        # here so flight-recorder state reports per-run deltas (keeps
+        # repeated seeded scenarios bitwise-identical in one process)
+        from ..tensor import graph_counters
+        self._graph_base = dict(graph_counters())
 
     # ------------------------------------------------------------------ #
     # hooks
@@ -260,6 +265,12 @@ class DistributedEngine(Trainer):
             "downtime_s": downtime_s, "modeled": cost,
         }
         self.replan_log.append(report)
+        if self.monitor is not None:
+            self.monitor.event(
+                "replan", t=float(self._step),
+                old=dict(old_plan.layout()), new=dict(new_plan.layout()),
+                step=self._step, state_bytes=state.nbytes,
+                modeled_downtime_s=cost["downtime_s"])
         return report
 
     def attach_fault_plan(self, fault_plan: FaultPlan) -> None:
@@ -277,6 +288,10 @@ class DistributedEngine(Trainer):
                         f"fault plan kills ranks {bad} outside world "
                         f"{self.plan.world}")
                 survivors = self.plan.world - len(dead)
+                if self.monitor is not None:
+                    self.monitor.event("rank_failure", t=float(self._step),
+                                       step=self._step, dead=list(dead),
+                                       survivors=survivors)
                 with span("replan/failure", cat="replan",
                           step=self._step, dead=str(list(dead))):
                     report = self.replan(self.plan.shrink_to(survivors))
@@ -285,6 +300,20 @@ class DistributedEngine(Trainer):
                 if tracer is not None:
                     tracer.metrics.inc("replan/rank_failures", len(dead))
         return super()._train_step_impl(batch)
+
+    def _monitor_state(self) -> dict:
+        from ..tensor import graph_counters
+        state = super()._monitor_state()
+        state["plan"] = dict(self.plan.layout())
+        state["plan_epoch"] = self.strategy._plan_epoch
+        state["replans"] = len(self.replan_log)
+        # compiled steps live in the strategy, not the Trainer flag, so
+        # always embed the guard counters (as deltas against the
+        # construction-time baseline: the raw counters are process-global)
+        state["graph_counters"] = {
+            k: v - self._graph_base.get(k, 0)
+            for k, v in graph_counters().items()}
+        return state
 
     def save(self, path, extra: dict | None = None) -> None:
         """Checkpoint unit 0 with this run's plan-layout metadata."""

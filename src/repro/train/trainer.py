@@ -3,7 +3,9 @@ precision, gradient clipping, checkpointing, and metric tracking."""
 
 from __future__ import annotations
 
+import math
 import pickle
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,6 +47,7 @@ class TrainHistory:
     val_loss: list[float] = field(default_factory=list)
     grad_norms: list[float] = field(default_factory=list)
     skipped_steps: int = 0
+    clip_events: int = 0
 
 
 class Trainer:
@@ -56,7 +59,7 @@ class Trainer:
 
     def __init__(self, model: Module, dataset: DownscalingDataset,
                  config: TrainConfig, val_dataset: DownscalingDataset | None = None,
-                 compile: bool = False):
+                 compile: bool = False, monitor=None):
         self.model = model
         self.dataset = dataset
         self.val_dataset = val_dataset
@@ -87,6 +90,17 @@ class Trainer:
         self._total_steps = max(
             1, config.epochs * ((len(dataset) + config.batch_size - 1) // config.batch_size)
         )
+        # continuous health monitoring (repro.obs.monitor): one None
+        # check per step when disabled; when attached, every step feeds
+        # the detector pack's train/… series and the flight recorder
+        self.monitor = monitor
+        self._last_health: dict = {}
+        if monitor is not None:
+            monitor.add_state_provider(self._monitor_state)
+        # baseline for per-run graph-counter deltas in dumps (the raw
+        # counters are process-global and cumulative)
+        from ..tensor import graph_counters
+        self._graph_base = dict(graph_counters())
 
     # ------------------------------------------------------------------ #
     # template-method hooks: DistributedEngine overrides these to route
@@ -165,14 +179,72 @@ class Trainer:
     def train_step(self, batch) -> float:
         """One optimizer step; returns the (unscaled) loss value."""
         tracer = active_tracer()
-        if tracer is None:
+        monitor = self.monitor
+        if tracer is None and monitor is None:
             return self._train_step_impl(batch)
-        with tracer.span("train/step", cat="step") as sp:
+        t0 = time.perf_counter() if monitor is not None else 0.0
+        if tracer is None:
             loss = self._train_step_impl(batch)
-            sp.args["loss"] = loss
-        tracer.metrics.observe("train/loss", loss)
-        tracer.end_step(len(batch.inputs), sp)
+        else:
+            with tracer.span("train/step", cat="step") as sp:
+                loss = self._train_step_impl(batch)
+                sp.args["loss"] = loss
+            tracer.metrics.observe("train/loss", loss)
+            self._observe_health(tracer.metrics)
+            tracer.end_step(len(batch.inputs), sp)
+        if monitor is not None:
+            self._feed_monitor(monitor, loss, time.perf_counter() - t0,
+                               len(batch.inputs))
         return loss
+
+    def _observe_health(self, metrics) -> None:
+        """Surface the step's gradient-health record as ``train/…``
+        histograms — the single place the detector pack and ``repro
+        profile`` both read (the ``TrainHistory`` lists mirror these)."""
+        h = self._last_health
+        metrics.observe("train/grad_norm", h["grad_norm"])
+        metrics.observe("train/clip_event", h["clip_event"])
+        metrics.observe("train/overflow_skip", h["overflow_skip"])
+        if h.get("loss_scale") is not None:
+            metrics.observe("train/loss_scale", h["loss_scale"])
+
+    def _feed_monitor(self, monitor, loss: float, wall_s: float,
+                      n_samples: int) -> None:
+        """One step's samples for the health monitor.
+
+        The time axis is the step index — deterministic by construction.
+        Wall-derived samples (step duration, throughput) are tagged so a
+        monitor built with ``wall_metrics=False`` replays bitwise.
+        """
+        t = float(self._step - 1)
+        h = self._last_health
+        monitor.record("train/loss", loss, t=t)
+        monitor.record("train/grad_norm", h["grad_norm"], t=t)
+        monitor.record("train/clip_event", h["clip_event"], t=t)
+        monitor.record("train/overflow_skip", h["overflow_skip"], t=t)
+        if h.get("loss_scale") is not None:
+            monitor.record("train/loss_scale", h["loss_scale"], t=t)
+        monitor.record("train/step_s", wall_s, t=t, wall=True)
+        if wall_s > 0:
+            monitor.record("train/samples_per_s", n_samples / wall_s, t=t,
+                           wall=True)
+        monitor.step_record(t, step=self._step - 1, loss=loss,
+                            grad_norm=h["grad_norm"],
+                            overflow_skip=h["overflow_skip"],
+                            loss_scale=h.get("loss_scale"))
+
+    def _monitor_state(self) -> dict:
+        """Engine state embedded in flight-recorder dumps."""
+        from ..tensor import graph_counters
+        state: dict = {"step": self._step, "compiled": self.compiled}
+        if self.compiled:
+            state["graph_counters"] = {
+                k: v - self._graph_base.get(k, 0)
+                for k, v in graph_counters().items()}
+        if self.scaler is not None:
+            state["loss_scale"] = self.scaler.scale_value
+            state["overflow_skips"] = self.history.skipped_steps
+        return state
 
     def _train_step_impl(self, batch) -> float:
         with span("train/zero_grad", cat="step"):
@@ -182,9 +254,20 @@ class Trainer:
             ))
             self._zero_grad()
         loss = self._backward(batch)
+        skipped_before = self.history.skipped_steps
         with span("train/optim", cat="step"):
             norm = self._clip_and_step()
         self.history.grad_norms.append(norm)
+        clipped = math.isfinite(norm) and norm > self.config.grad_clip
+        if clipped:
+            self.history.clip_events += 1
+        self._last_health = {
+            "grad_norm": norm,
+            "clip_event": 1.0 if clipped else 0.0,
+            "overflow_skip": float(self.history.skipped_steps - skipped_before),
+            "loss_scale": (self.scaler.scale_value
+                           if self.scaler is not None else None),
+        }
         self._step += 1
         return loss
 

@@ -1,0 +1,126 @@
+"""CLI surface: ``repro monitor``, ``repro health``, ``repro bench-diff``."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMonitorCommand:
+    def test_clean_scenario_healthy_exit_zero(self, capsys):
+        rc = main(["monitor", "--quick", "--scenario", "train"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "no alerts fired" in out
+        assert "verdict: healthy  [ok]" in out
+
+    def test_injected_scenario_fires_and_dumps(self, tmp_path, capsys):
+        dump = tmp_path / "dump.json"
+        rc = main(["monitor", "--quick", "--scenario", "train",
+                   "--inject", "nan", "--dump-out", str(dump)])
+        assert rc == 0            # injected rules fired as intended
+        out = capsys.readouterr().out
+        assert "nonfinite-loss" in out
+        assert "verdict: critical  [ok]" in out
+        assert "expected rules fired: 2/2" in out
+        doc = json.loads(dump.read_text())
+        assert doc["schema"] == "flight_recorder/v1"
+        assert doc["reason"] == "cli:train:nan"
+
+    def test_trace_out_carries_alert_annotations(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        rc = main(["monitor", "--quick", "--scenario", "elastic",
+                   "--inject", "rank-death", "--trace-out", str(trace)])
+        assert rc == 0
+        doc = json.loads(trace.read_text())
+        inst = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert {e["name"] for e in inst} == {"alert/rank-failure",
+                                             "alert/replan"}
+
+    def test_bad_injection_exits_two(self, capsys):
+        rc = main(["monitor", "--scenario", "serve", "--inject", "nan"])
+        assert rc == 2
+        assert "not valid" in capsys.readouterr().err
+
+
+class TestHealthCommand:
+    def test_renders_dump(self, tmp_path, capsys):
+        dump = tmp_path / "dump.json"
+        assert main(["monitor", "--quick", "--inject", "loss-spike",
+                     "--dump-out", str(dump)]) == 0
+        capsys.readouterr()
+        rc = main(["health", str(dump)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flight recorder dump" in out
+        assert "loss-spike" in out
+
+    def test_rejects_non_dump_json(self, tmp_path, capsys):
+        bogus = tmp_path / "x.json"
+        bogus.write_text('{"schema": "other/v1"}')
+        assert main(["health", str(bogus)]) == 2
+        assert "not a flight-recorder dump" in capsys.readouterr().err
+
+    def test_missing_file_exits_two(self, tmp_path, capsys):
+        assert main(["health", str(tmp_path / "absent.json")]) == 2
+
+
+class TestBenchDiffCommand:
+    def _write(self, path, doc):
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_identical_docs_pass(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", {"step_s": 0.01, "n": 3})
+        rc = main(["bench-diff", old, old])
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_timing_regression_fails(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json", {"step_s": 0.010})
+        new = self._write(tmp_path / "new.json", {"step_s": 0.030})
+        rc = main(["bench-diff", old, new, "--rtol", "0.5"])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "step_s" in out
+
+    def test_timing_improvement_and_drift_pass(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json",
+                          {"step_s": 0.030, "requests": 80})
+        new = self._write(tmp_path / "new.json",
+                          {"step_s": 0.010, "requests": 160})
+        rc = main(["bench-diff", old, new, "--rtol", "0.5"])
+        assert rc == 0
+        assert "drift" in capsys.readouterr().out
+
+    def test_strict_fails_on_drift(self, tmp_path):
+        old = self._write(tmp_path / "old.json", {"requests": 80})
+        new = self._write(tmp_path / "new.json", {"requests": 160})
+        assert main(["bench-diff", old, new]) == 0
+        assert main(["bench-diff", old, new, "--strict"]) == 1
+
+    def test_removed_metric_and_flipped_bool_fail(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json",
+                          {"bitwise": True, "gone": 1.0})
+        new = self._write(tmp_path / "new.json", {"bitwise": False})
+        rc = main(["bench-diff", old, new])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "2 regression(s)" in out
+
+    def test_nested_paths_in_report(self, tmp_path, capsys):
+        old = self._write(tmp_path / "old.json",
+                          {"train_step": {"small": {"step_s": 0.01}},
+                           "rows": [{"p99_s": 0.1}]})
+        new = self._write(tmp_path / "new.json",
+                          {"train_step": {"small": {"step_s": 0.1}},
+                           "rows": [{"p99_s": 0.5}]})
+        assert main(["bench-diff", old, new]) == 1
+        out = capsys.readouterr().out
+        assert "train_step.small.step_s" in out
+        assert "rows[0].p99_s" in out
+
+    def test_unreadable_input_exits_two(self, tmp_path, capsys):
+        good = self._write(tmp_path / "old.json", {})
+        assert main(["bench-diff", good, str(tmp_path / "nope.json")]) == 2

@@ -81,3 +81,39 @@ class TestMetrics:
         m.observe("h", 1.0)
         m.reset()
         assert not m.counters and not m.gauges and not m.histograms
+
+
+class TestHistogramReservoir:
+    """Algorithm R keeps the reservoir a uniform sample of *all*
+    observations, so late distribution shifts must move percentiles
+    (the old keep-the-first-N reservoir froze them at the early values)."""
+
+    def test_late_shift_moves_percentiles(self):
+        from repro.obs.metrics import _RESERVOIR
+
+        h = Histogram()
+        for _ in range(_RESERVOIR):
+            h.observe(1.0)
+        assert h.percentile(99) == 1.0
+        # an equally long second regime at 100x: roughly half the
+        # reservoir should now come from it
+        for _ in range(_RESERVOIR):
+            h.observe(100.0)
+        assert h.percentile(99) == 100.0
+        assert h.percentile(50) in (1.0, 100.0)
+        frac_new = sum(v == 100.0 for v in h._values) / len(h._values)
+        assert 0.35 < frac_new < 0.65
+        # exact stats stay exact regardless of sampling
+        assert h.count == 2 * _RESERVOIR
+        assert h.mean == pytest.approx(50.5)
+
+    def test_reservoir_is_seeded_and_reproducible(self):
+        def build():
+            h = Histogram()
+            for i in range(10_000):
+                h.observe(float(i))
+            return h
+
+        a, b = build(), build()
+        assert a._values == b._values
+        assert a.percentile(50) == b.percentile(50)

@@ -1,0 +1,102 @@
+"""Exporter edge cases: empty traces, zero-duration spans, comm-only
+coverage, histogram-free metric dumps, and alert annotations."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    Span,
+    chrome_trace,
+    span_coverage,
+    summary_table,
+    write_chrome_trace,
+)
+
+
+def _span(name, start, dur, rank=0, depth=0, cat="app", **args):
+    return Span(name=name, cat=cat, rank=rank, start_s=start, dur_s=dur,
+                depth=depth, args=dict(args))
+
+
+class TestEmptyTrace:
+    def test_empty_trace_is_valid_doc(self):
+        doc = chrome_trace([])
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        # only the process-name metadata record; no ranks, no spans
+        assert [e["ph"] for e in events] == ["M"]
+        assert events[0]["name"] == "process_name"
+
+    def test_empty_trace_round_trips_through_disk(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "empty.json", [])
+        doc = json.loads(path.read_text())
+        assert all(e["ph"] != "X" for e in doc["traceEvents"])
+
+    def test_alerts_annotate_even_without_spans(self):
+        alert = {"t": 2.5, "rule": "loss-spike", "metric": "train/loss",
+                 "value": 9.0, "severity": "warning",
+                 "detail": {"zscore": 7.1}}
+        doc = chrome_trace([], alerts=[alert])
+        (inst,) = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert inst["name"] == "alert/loss-spike"
+        assert inst["cat"] == "alert"
+        assert inst["s"] == "p"                       # process-scoped
+        assert inst["ts"] == pytest.approx(2.5e6)     # seconds -> us
+        assert inst["args"]["severity"] == "warning"
+        assert inst["args"]["zscore"] == 7.1          # detail merged in
+
+    def test_summary_table_of_nothing(self):
+        text = summary_table([])
+        assert text.splitlines()[0].startswith("span")
+
+
+class TestZeroDurationSpans:
+    def test_chrome_trace_keeps_zero_duration_event(self):
+        doc = chrome_trace([_span("instant", 1.0, 0.0)])
+        (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert ev["dur"] == 0.0 and ev["ts"] == pytest.approx(1e6)
+
+    def test_summary_table_zero_total_share(self):
+        # all-zero durations: shares must render as 0%, not divide by zero
+        text = summary_table([_span("root", 0.0, 0.0),
+                              _span("child", 0.0, 0.0, depth=1)])
+        root = next(l for l in text.splitlines() if l.startswith("root"))
+        assert root.split()[-1] == "0.0%"
+
+    def test_span_coverage_zero_duration_root(self):
+        spans = [_span("root", 0.0, 0.0),
+                 _span("child", 0.0, 0.0, depth=1)]
+        assert span_coverage(spans, "root") == 0.0
+
+
+class TestCommOnlyCoverage:
+    def test_coverage_without_the_root_is_zero(self):
+        # a trace of bare collectives (no train/step root at all)
+        spans = [_span(f"comm/all_reduce", 0.1 * i, 0.05, cat="comm",
+                       depth=1, rank=i % 2) for i in range(4)]
+        assert span_coverage(spans, "train/step") == 0.0
+
+    def test_coverage_only_counts_requested_rank(self):
+        spans = [_span("train/step", 0.0, 1.0),
+                 _span("comm/all_gather", 0.0, 1.0, rank=1, depth=1)]
+        # the only child lives on rank 1; rank 0's root is uncovered
+        assert span_coverage(spans, "train/step") == 0.0
+        assert span_coverage(spans, "train/step", rank=1) == 0.0
+
+
+class TestMetricsDumpEdges:
+    def test_dump_without_histograms(self):
+        m = MetricsRegistry()
+        m.inc("comm/all_reduce/bytes", 1024)
+        m.gauge("mem/tape_bytes_hwm", 2048)
+        text = m.dump()
+        assert "counters:" in text and "gauges:" in text
+        assert "histograms" not in text
+        assert m.as_dict()["histograms"] == {}
+
+    def test_dump_of_empty_registry_is_empty(self):
+        assert MetricsRegistry().dump() == ""
+        d = MetricsRegistry().as_dict()
+        assert d == {"counters": {}, "gauges": {}, "histograms": {}}
