@@ -119,6 +119,54 @@ def measured_equivalence() -> dict:
             "bit_identical": bool(identical)}
 
 
+def cache_fastpath() -> dict:
+    """TileCache micro-perf: the frozen-array fast path.
+
+    ``put`` stores an already-frozen (read-only) array as-is and ``get``
+    hands the stored array back without a defensive copy — per-tile
+    serving calls both once per tile, so the copies it skips are pure
+    overhead on the hit path.  The timing assertion gates the copy
+    elision (a frozen put must not be slower than a writable one, which
+    must copy); the content-hash timing is recorded but not gated (wall
+    time, not reproducible).
+    """
+    import time
+
+    from repro.serve import content_key
+
+    rng = np.random.default_rng(0)
+    writable = rng.standard_normal((23, 64, 128)).astype(np.float32)
+    frozen = writable.copy()
+    frozen.flags.writeable = False
+    reps = 200
+
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        content_key(frozen)
+    hash_s = (time.perf_counter() - t0) / reps
+
+    cache = TileCache(4)
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cache.put("frozen", frozen)
+    frozen_put_s = (time.perf_counter() - t0) / reps
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        cache.put("writable", writable)
+    writable_put_s = (time.perf_counter() - t0) / reps
+
+    return {
+        "array_bytes": int(frozen.nbytes),
+        "hash_s": hash_s,
+        "frozen_put_s": frozen_put_s,
+        "writable_put_s": writable_put_s,
+        # identity, not equality: the stored frozen array IS the caller's
+        "stores_frozen_without_copy": bool(cache.get("frozen") is frozen),
+        "get_skips_copy": bool(cache.get("writable")
+                               is cache.get("writable")),
+    }
+
+
 def record(metrics: dict) -> Path:
     doc = {"schema": "bench_serve/v1"}
     if BENCH_SERVE_PATH.exists():
@@ -199,6 +247,16 @@ def test_served_outputs_bit_identical(benchmark):
     assert result["cache_hits"] > 0
 
 
+def test_cache_frozen_fast_path(benchmark):
+    result = benchmark.pedantic(cache_fastpath, rounds=1, iterations=1)
+    record({"cache_fastpath": result})
+    assert result["stores_frozen_without_copy"]
+    assert result["get_skips_copy"]
+    # the timing assertion: a frozen put skips the defensive copy a
+    # writable put must pay (~750 KB here), so it cannot be slower
+    assert result["frozen_put_s"] < result["writable_put_s"]
+
+
 def main(argv: list[str]) -> int:
     quick = "--quick" in argv
     pricing = replica_pricing()
@@ -206,12 +264,20 @@ def main(argv: list[str]) -> int:
     for line in render(pricing, sweep):
         print(line)
     write_table("serve_scenarios", render(pricing, sweep))
-    metrics = {"pricing": pricing, "scenarios": sweep}
+    metrics = {"pricing": pricing, "scenarios": sweep,
+               "cache_fastpath": cache_fastpath()}
     if not quick:
         metrics["measured_equivalence"] = measured_equivalence()
     path = record(metrics)
     print(f"[bench_serve] wrote {path}")
     failures = gates(pricing, sweep)
+    fp = metrics["cache_fastpath"]
+    if not (fp["stores_frozen_without_copy"] and fp["get_skips_copy"]):
+        failures.append("TileCache frozen fast path copied")
+    if not fp["frozen_put_s"] < fp["writable_put_s"]:
+        failures.append(
+            f"frozen put ({fp['frozen_put_s'] * 1e6:.1f} us) not faster "
+            f"than copying put ({fp['writable_put_s'] * 1e6:.1f} us)")
     if not quick:
         m = metrics["measured_equivalence"]
         if not m["bit_identical"]:

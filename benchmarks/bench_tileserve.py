@@ -1,0 +1,307 @@
+"""Tile-granular serving benchmark: rolling-forecast traffic, tile cache
+vs whole-request cache, at equal replicas.
+
+Three parts:
+
+* **rolling** — the headline gate.  A rolling-forecast client streams a
+  slowly-evolving globe (one tile's content changes per request on
+  average).  Whole-request caching keys on the full grid, so every
+  slightly-new state is a 100% miss and a full recompute; tile-granular
+  serving recomputes only the changed tiles.  At equal replicas the tile
+  path must sustain **>= 1.5x the throughput at a lower p99** — the
+  ISSUE's acceptance gate.
+* **sizing** — ``serve_report`` with the cache-hit-aware tile service
+  time: the hit-rate sensitivity rows that price what a cache collapse
+  costs in replicas.
+* **equivalence** (skipped with ``--quick``) — a tiny Reslim served for
+  real through the tile path across cache on/off x replicas {1, 2, 4};
+  every response must be bitwise-identical to the tiled
+  ``predict_dataset`` reference (the same geometry
+  ``global_inference(n_tiles=..., halo=...)`` runs).  One run also
+  exports ``tileserve_trace.json`` (serve/batch -> serve/tile spans) as
+  the CI trace artifact.
+
+Headline numbers land in repo-root ``BENCH_tileserve.json``; CI diffs
+them against the committed baseline via ``repro bench-diff``.  All
+latency-only parts are deterministic discrete-event simulations.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import ModelConfig, PAPER_CONFIGS, Reslim
+from repro.data import DatasetSpec, DownscalingDataset, Grid
+from repro.distributed import serve_report
+from repro.serve import (
+    ROLLING,
+    BatchPolicy,
+    DownscalingService,
+    TileCache,
+    TrafficGenerator,
+)
+from repro.train import predict_dataset
+
+from benchmarks.common import write_table
+
+BENCH_PATH = Path(__file__).parent.parent / "BENCH_tileserve.json"
+TRACE_PATH = Path(__file__).parent.parent / "tileserve_trace.json"
+
+#: rolling-forecast configuration: 1B model on 8-GPU replicas, a state
+#: that evolves roughly one tile per request interval, equal fleets
+MODEL = "1B"
+N_REPLICAS = 2
+GPUS_PER_REPLICA = 8
+RATE_RPS = 250.0
+DURATION_S = 20.0
+N_TILES = 4
+HALO = 2
+COARSE = (32, 64)
+TILE_UPDATE_RATE = 250.0
+POLICY = BatchPolicy(max_batch=8, max_wait_s=0.02)
+SEED = 0
+
+#: the acceptance gate: tile-granular serving vs whole-request caching
+MIN_THROUGHPUT_RATIO = 1.5
+
+#: executed-equivalence geometry (coarse (8, 16): halo 2 keeps every
+#: halo-extended tile shape divisible by Reslim's patch size)
+EQ_N_TILES = 4
+EQ_HALO = 2
+EQ_COARSE = (8, 16)
+
+
+def _rolling_requests():
+    gen = TrafficGenerator(ROLLING, RATE_RPS, DURATION_S, seed=SEED,
+                           n_tiles=N_TILES, tile_update_rate=TILE_UPDATE_RATE)
+    return gen.generate()
+
+
+def _summary_row(summary: dict) -> dict:
+    keys = ("requests", "duration_s", "throughput_rps", "latency_p50_s",
+            "latency_p99_s", "queue_wait_p99_s", "queue_depth_max",
+            "batches", "batch_size_mean", "cache_hit_rate",
+            "utilization_mean")
+    row = {k: summary[k] for k in keys}
+    for k in ("tile_hit_rate", "tile_hits", "tile_misses", "tile_coalesced",
+              "tile_batch_occupancy_mean"):
+        if k in summary:
+            row[k] = summary[k]
+    return row
+
+
+def rolling_comparison() -> dict:
+    """Whole-request caching vs tile-granular serving, same traffic,
+    same replicas, same batching policy."""
+    config = PAPER_CONFIGS[MODEL]
+    baseline = DownscalingService(
+        n_replicas=N_REPLICAS, gpus_per_replica=GPUS_PER_REPLICA,
+        policy=POLICY, cache=TileCache(64), config=config)
+    base = _summary_row(baseline.run(_rolling_requests()).summary())
+
+    tiled = DownscalingService(
+        n_replicas=N_REPLICAS, gpus_per_replica=GPUS_PER_REPLICA,
+        policy=POLICY, cache=TileCache(64), config=config,
+        n_tiles=N_TILES, halo=HALO, coarse_shape=COARSE, tile_serving=True)
+    tile = _summary_row(tiled.run(_rolling_requests()).summary())
+
+    # fraction of tile probes that did NOT cost a fresh model forward:
+    # cache hits plus coalesced waits on an in-flight identical tile
+    # (at 4 ms request spacing most "hits" are still in flight, so the
+    # raw cache hit rate understates the saving)
+    lookups = tile["tile_hits"] + tile["tile_misses"]
+    recomputed = tile["tile_misses"] - tile["tile_coalesced"]
+    return {
+        "baseline": base,
+        "tiled": tile,
+        "throughput_ratio": tile["throughput_rps"] / base["throughput_rps"],
+        "p99_ratio": tile["latency_p99_s"] / base["latency_p99_s"],
+        "tile_recompute_fraction": recomputed / lookups if lookups else 1.0,
+    }
+
+
+def hit_rate_sizing() -> dict:
+    """The cache-hit-aware fleet-sizing rows for the same deployment."""
+    report = serve_report(
+        PAPER_CONFIGS[MODEL], scenario="burst", rate_rps=40.0,
+        duration_s=10.0, slo_p99_s=0.5, max_replicas=8,
+        gpus_per_replica=GPUS_PER_REPLICA, max_batch=POLICY.max_batch,
+        max_wait_s=POLICY.max_wait_s, seed=SEED, n_tiles=N_TILES,
+        halo=HALO, coarse_shape=COARSE, hit_rates=(0.0, 0.5, 0.9))
+    return {
+        "tiles": report["tiles"],
+        "recommended_replicas": report["recommended_replicas"],
+        "hit_rate_sensitivity": [
+            {"hit_rate": row["hit_rate"],
+             "recommended_replicas": row["recommended_replicas"],
+             "p99_at_recommended_s": row["p99_at_recommended_s"]}
+            for row in report["hit_rate_sensitivity"]],
+    }
+
+
+def measured_equivalence() -> dict:
+    """Serve a real tiny Reslim tile-granularly across cache on/off x
+    replicas {1, 2, 4}; every response must match the tiled
+    ``predict_dataset`` reference bitwise."""
+    spec = DatasetSpec(name="bench-tileserve", fine_grid=Grid(32, 64),
+                       factor=4, years=(2000, 2001), samples_per_year=2,
+                       seed=3, output_channels=(17, 18, 19))
+    ds = DownscalingDataset(spec, years=(2000, 2001))
+    ds.fit_normalizer()
+    model = Reslim(ModelConfig("tiny", embed_dim=16, depth=1, num_heads=2),
+                   23, 3, factor=4, max_tokens=256,
+                   rng=np.random.default_rng(0))
+    inputs = np.concatenate([b.inputs for b in ds.batches(1)])
+    inputs = [inputs[i] for i in range(len(inputs))]
+    reference, _ = predict_dataset(model, ds, n_tiles=EQ_N_TILES,
+                                   halo=EQ_HALO)
+    grid, identical, hits = [], True, 0
+    for cache_on in (False, True):
+        for n_replicas in (1, 2, 4):
+            gen = TrafficGenerator("burst", 40.0, 0.75, seed=SEED,
+                                   n_inputs=len(inputs))
+            requests = gen.generate(inputs=inputs)
+            service = DownscalingService(
+                model, n_replicas=n_replicas,
+                policy=BatchPolicy(max_batch=4, max_wait_s=0.02),
+                cache=TileCache(64) if cache_on else None,
+                target_normalizer=ds.target_normalizer,
+                n_tiles=EQ_N_TILES, halo=EQ_HALO, coarse_shape=EQ_COARSE,
+                tile_serving=True)
+            result = service.run(requests)
+            ok = all(np.array_equal(r.output, reference[r.request.sample])
+                     for r in result.responses)
+            identical = identical and ok
+            s = result.summary()
+            hits += int(s.get("tile_hits", 0))
+            grid.append({"cache": cache_on, "replicas": n_replicas,
+                         "requests": len(result.responses),
+                         "tile_hit_rate": s.get("tile_hit_rate", 0.0),
+                         "bit_identical": bool(ok)})
+            if cache_on and n_replicas == 2:
+                result.export_chrome(TRACE_PATH)
+    return {"grid": grid, "bit_identical": bool(identical),
+            "tile_hits": hits, "trace": TRACE_PATH.name}
+
+
+def record(metrics: dict) -> Path:
+    doc = {"schema": "bench_tileserve/v1"}
+    if BENCH_PATH.exists():
+        try:
+            existing = json.loads(BENCH_PATH.read_text())
+            if existing.get("schema") == doc["schema"]:
+                doc = existing
+        except (json.JSONDecodeError, OSError):
+            pass  # rewrite a corrupt file from scratch
+    doc.update(metrics)
+    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return BENCH_PATH
+
+
+def render(rolling: dict, sizing: dict) -> list[str]:
+    base, tile = rolling["baseline"], rolling["tiled"]
+    lines = [
+        f"Tile-granular serving: {MODEL} model, rolling forecast at "
+        f"{RATE_RPS:g} rps for {DURATION_S:g}s, {N_REPLICAS} replicas x "
+        f"{GPUS_PER_REPLICA} GPUs each",
+        f"grid {COARSE[0]}x{COARSE[1]} in {N_TILES} tiles, halo {HALO}, "
+        f"~{TILE_UPDATE_RATE / RATE_RPS:.1f} tile updates per request",
+        "-" * 72,
+        f"{'path':>14s} {'reqs':>6s} {'p50 ms':>9s} {'p99 ms':>10s} "
+        f"{'rps':>7s} {'hit%':>6s} {'depth':>6s}",
+    ]
+    for name, s in (("whole-request", base), ("tile-granular", tile)):
+        hit = s.get("tile_hit_rate", s["cache_hit_rate"])
+        lines.append(
+            f"{name:>14s} {s['requests']:>6d} "
+            f"{s['latency_p50_s'] * 1e3:>9.2f} "
+            f"{s['latency_p99_s'] * 1e3:>10.2f} "
+            f"{s['throughput_rps']:>7.1f} {hit * 100:>6.1f} "
+            f"{s['queue_depth_max']:>6.0f}")
+    lines += [
+        f"throughput ratio {rolling['throughput_ratio']:.2f}x "
+        f"(gate >= {MIN_THROUGHPUT_RATIO:g}x), "
+        f"p99 ratio {rolling['p99_ratio']:.3f}x (gate < 1), "
+        f"{rolling['tile_recompute_fraction'] * 100:.1f}% of tiles "
+        f"recomputed",
+        f"sizing: cold {sizing['hit_rate_sensitivity'][0]['recommended_replicas']} "
+        f"-> warm {sizing['hit_rate_sensitivity'][-1]['recommended_replicas']} "
+        f"replicas across hit rates "
+        f"{[r['hit_rate'] for r in sizing['hit_rate_sensitivity']]}",
+    ]
+    return lines
+
+
+def gates(rolling: dict, sizing: dict) -> list[str]:
+    """Return failed-gate messages (empty == pass)."""
+    failures = []
+    if rolling["throughput_ratio"] < MIN_THROUGHPUT_RATIO:
+        failures.append(
+            f"tile-granular throughput only "
+            f"{rolling['throughput_ratio']:.2f}x whole-request caching "
+            f"(gate >= {MIN_THROUGHPUT_RATIO:g}x at equal replicas)")
+    if rolling["p99_ratio"] >= 1.0:
+        failures.append(
+            f"tile-granular p99 not below whole-request caching "
+            f"(ratio {rolling['p99_ratio']:.3f})")
+    if rolling["tile_recompute_fraction"] >= 0.5:
+        failures.append(
+            "rolling traffic should avoid recomputing most tiles "
+            f"(recomputed {rolling['tile_recompute_fraction']:.2f})")
+    recs = [r["recommended_replicas"]
+            for r in sizing["hit_rate_sensitivity"]]
+    if any(r is None for r in recs) or recs != sorted(recs, reverse=True):
+        failures.append(f"hit-rate sizing rows not monotone: {recs}")
+    return failures
+
+
+def test_rolling_tile_cache_beats_whole_request(benchmark):
+    rolling = benchmark(rolling_comparison)
+    sizing = hit_rate_sizing()
+    write_table("tileserve_rolling", render(rolling, sizing),
+                golden_rtol=0.25)
+    record({"rolling": rolling, "sizing": sizing})
+    assert not gates(rolling, sizing)
+
+
+def test_tiled_serving_bit_identical(benchmark):
+    result = benchmark.pedantic(measured_equivalence, rounds=1, iterations=1)
+    record({"equivalence": result})
+    assert result["bit_identical"]
+    assert result["tile_hits"] > 0
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    rolling = rolling_comparison()
+    sizing = hit_rate_sizing()
+    for line in render(rolling, sizing):
+        print(line)
+    write_table("tileserve_rolling", render(rolling, sizing))
+    metrics = {"rolling": rolling, "sizing": sizing}
+    if not quick:
+        metrics["equivalence"] = measured_equivalence()
+    path = record(metrics)
+    print(f"[bench_tileserve] wrote {path}")
+    failures = gates(rolling, sizing)
+    if not quick:
+        eq = metrics["equivalence"]
+        if not eq["bit_identical"]:
+            failures.append("tiled serving diverged from the tiled "
+                            "predict_dataset reference")
+        if not eq["tile_hits"] > 0:
+            failures.append("executed grid produced no tile cache hits")
+    for msg in failures:
+        print(f"FAIL: {msg}", file=sys.stderr)
+    if failures:
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -129,7 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     sv = sub.add_parser("serve", help="run a traffic scenario through the "
                                       "downscaling service")
-    sv.add_argument("--scenario", choices=["steady", "diurnal", "burst"],
+    sv.add_argument("--scenario",
+                    choices=["steady", "diurnal", "burst", "rolling"],
                     default="burst")
     sv.add_argument("--model", choices=["9.5M", "126M", "1B", "10B"],
                     default="1B", help="model config pricing the replicas")
@@ -150,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
                     help="p99 latency SLO, seconds")
     sv.add_argument("--n-inputs", type=int, default=16,
                     help="distinct coarse fields in the traffic")
+    sv.add_argument("--tiles", type=int, default=1,
+                    help="tile-granular serving: split every request "
+                         "into N halo tiles (>= 2 enables the tile path)")
+    sv.add_argument("--halo", type=int, default=0,
+                    help="halo width in coarse pixels for --tiles")
+    sv.add_argument("--coarse-grid", type=int, nargs=2, default=None,
+                    help="coarse grid (h w) of the tile plan; defaults "
+                         "to the executed dataset's grid, or (32, 64) "
+                         "latency-only")
+    sv.add_argument("--tile-update-rate", type=float, default=4.0,
+                    help="rolling scenario: tile content updates per "
+                         "second")
     sv.add_argument("--seed", type=int, default=0)
     sv.add_argument("--execute", action="store_true",
                     help="serve a real (tiny) model on synthetic data "
@@ -513,6 +526,16 @@ def _cmd_serve(args) -> int:
     from repro.serve import BatchPolicy, DownscalingService, TileCache, TrafficGenerator
 
     cfg = PAPER_CONFIGS[args.model]
+    tiled = args.tiles > 1
+    if args.execute:
+        if args.coarse_grid:
+            coarse_shape = tuple(args.coarse_grid)
+        else:
+            # the tiled plan needs room for a halo inside each tile
+            coarse_shape = (8, 16) if tiled else (4, 8)
+    else:
+        coarse_shape = tuple(args.coarse_grid) if args.coarse_grid \
+            else (32, 64)
     n_replicas = args.replicas
     if n_replicas == 0:
         report = serve_report(
@@ -520,7 +543,8 @@ def _cmd_serve(args) -> int:
             duration_s=args.duration, slo_p99_s=args.slo_p99,
             gpus_per_replica=args.gpus_per_replica,
             max_batch=args.max_batch, max_wait_s=args.max_wait,
-            seed=args.seed)
+            seed=args.seed, n_tiles=args.tiles, halo=args.halo,
+            coarse_shape=coarse_shape if tiled else None)
         print(f"replica pricing for {args.scenario} @ {args.rate:g} rps, "
               f"SLO p99 <= {args.slo_p99:g}s "
               f"(model {args.model}, {args.gpus_per_replica} GPUs/replica):")
@@ -531,6 +555,12 @@ def _cmd_serve(args) -> int:
                   f"{row['p50_s']:>9.4f} {row['p99_s']:>9.4f} "
                   f"{row['utilization_mean']:>6.1%} "
                   f"{'ok' if row['meets_slo'] else 'MISS':>5s}")
+        for srow in report.get("hit_rate_sensitivity", ()):
+            rec = srow["recommended_replicas"]
+            p99 = srow["p99_at_recommended_s"]
+            print(f"  at {srow['hit_rate']:4.0%} tile hit rate: "
+                  + (f"{rec} replicas (p99 {p99:.4f}s)"
+                     if rec is not None else "no count meets the SLO"))
         if report["recommended_replicas"] is None:
             print("no replica count meets the SLO; raise --replicas range "
                   "or relax --slo-p99", file=sys.stderr)
@@ -539,13 +569,17 @@ def _cmd_serve(args) -> int:
         print(f"recommended: {n_replicas} replicas\n")
 
     gen = TrafficGenerator(args.scenario, args.rate, args.duration,
-                           seed=args.seed, n_inputs=args.n_inputs)
+                           seed=args.seed, n_inputs=args.n_inputs,
+                           n_tiles=args.tiles if tiled else 16,
+                           tile_update_rate=args.tile_update_rate)
     cache = TileCache(args.cache_capacity) if args.cache_capacity else None
     policy = BatchPolicy(max_batch=args.max_batch, max_wait_s=args.max_wait)
     if args.execute:
         from repro.core import ModelConfig, Reslim
 
-        ds = _make_dataset((16, 32), 4, 1, max(4, args.n_inputs // 4), args.seed)
+        fine_grid = (coarse_shape[0] * 4, coarse_shape[1] * 4)
+        ds = _make_dataset(fine_grid, 4, 1, max(4, args.n_inputs // 4),
+                           args.seed)
         ds.fit_normalizer()
         inputs = [ds.normalizer.normalize(ds.raw_pair(i % len(ds))[0])
                   for i in range(args.n_inputs)]
@@ -556,12 +590,16 @@ def _cmd_serve(args) -> int:
             model, n_replicas=n_replicas,
             gpus_per_replica=args.gpus_per_replica, policy=policy,
             cache=cache, target_normalizer=ds.target_normalizer,
-            config=cfg, compile=args.compile)
-        requests = gen.generate(inputs=inputs)
+            n_tiles=args.tiles, halo=args.halo, coarse_shape=coarse_shape,
+            tile_serving=tiled, config=cfg, compile=args.compile)
+        requests = gen.generate(
+            inputs=inputs[:1] if args.scenario == "rolling" else inputs)
     else:
         service = DownscalingService(
             n_replicas=n_replicas, gpus_per_replica=args.gpus_per_replica,
-            policy=policy, cache=cache, config=cfg)
+            policy=policy, cache=cache, n_tiles=args.tiles, halo=args.halo,
+            coarse_shape=coarse_shape if tiled else None,
+            tile_serving=tiled, config=cfg)
         requests = gen.generate()
     result = service.run(requests)
     s = result.summary()
@@ -578,10 +616,17 @@ def _cmd_serve(args) -> int:
           f"{s['queue_depth_p99']:.0f} p99")
     print(f"  batches:      {s['batches']:10.0f} "
           f"(mean size {s['batch_size_mean']:.2f})")
-    if cache is not None:
+    if cache is not None and not tiled:
         print(f"  cache:        {s['cache_hit_rate']:10.1%} hit rate "
               f"({s['cache_hits']:.0f} hits, {s['cache_evictions']:.0f} "
               f"evictions)")
+    if tiled and "tile_hit_rate" in s:
+        # the request-level cache line is suppressed: with tile-granular
+        # serving the per-tile numbers are the meaningful ones
+        print(f"  tiles:        {s['tile_hit_rate']:10.1%} tile hit rate "
+              f"({s['tile_hits']:.0f} hits, {s['tile_coalesced']:.0f} "
+              f"coalesced, {s['cache_evictions']:.0f} evictions, "
+              f"batch occupancy {s['tile_batch_occupancy_mean']:.2f})")
     print(f"  utilization:  {s['utilization_mean']:10.1%} mean over replicas")
     if args.trace_out:
         result.export_chrome(args.trace_out)

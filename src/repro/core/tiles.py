@@ -73,25 +73,42 @@ def tile_grid(n_tiles: int) -> tuple[int, int]:
     return best
 
 
-def make_tiles(h: int, w: int, n_tiles: int, halo: int = 0) -> list[TileSpec]:
+def _split_axis(extent: int, parts: int) -> list[tuple[int, int]]:
+    """(start, stop) spans partitioning ``extent`` into ``parts`` pieces,
+    the first ``extent % parts`` pieces one larger (np.array_split order)."""
+    base, extra = divmod(extent, parts)
+    spans, start = [], 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def make_tiles(h: int, w: int, n_tiles: int, halo: int = 0,
+               uneven: bool = False) -> list[TileSpec]:
     """Partition an (h, w) grid into ``n_tiles`` halo-padded tiles.
 
     The grid must divide evenly into the (rows, cols) factorization of
-    ``n_tiles``.  Tiles are returned in row-major order.
+    ``n_tiles`` unless ``uneven=True``, which falls back to
+    ``np.array_split``-style boundaries (leading rows/columns one pixel
+    larger).  Tiles are returned in row-major order either way.
     """
     rows, cols = tile_grid(n_tiles)
-    if h % rows or w % cols:
+    if not uneven and (h % rows or w % cols):
         raise ValueError(f"grid {(h, w)} not divisible into {rows}x{cols} tiles")
+    if rows > h or cols > w:
+        raise ValueError(f"grid {(h, w)} too small for {rows}x{cols} tiles")
     if halo < 0:
         raise ValueError("halo must be non-negative")
     th, tw = h // rows, w // cols
     if halo >= th or halo >= tw:
         raise ValueError(f"halo {halo} must be smaller than the tile core {(th, tw)}")
+    row_spans = _split_axis(h, rows)
+    col_spans = _split_axis(w, cols)
     tiles = []
-    for r in range(rows):
-        for c in range(cols):
-            y0, x0 = r * th, c * tw
-            y1, x1 = y0 + th, x0 + tw
+    for r, (y0, y1) in enumerate(row_spans):
+        for c, (x0, x1) in enumerate(col_spans):
             tiles.append(TileSpec(
                 y0=y0, y1=y1, x0=x0, x1=x1,
                 hy0=max(0, y0 - halo), hy1=min(h, y1 + halo),
@@ -166,9 +183,14 @@ class TiledDownscaler(Module):
         Halo width in coarse pixels.  Must keep the halo-extended tiles
         divisible by the model's patch size; callers typically use a
         multiple of ``patch_size``.
+    uneven:
+        Allow grids that do not divide evenly into the tile layout
+        (``np.array_split`` boundaries).  Only usable with patch-free
+        models, since tile shapes then differ.
     """
 
-    def __init__(self, model: Module, n_tiles: int, halo: int, factor: int):
+    def __init__(self, model: Module, n_tiles: int, halo: int, factor: int,
+                 uneven: bool = False):
         super().__init__()
         if n_tiles < 1:
             raise ValueError("n_tiles must be >= 1")
@@ -176,13 +198,14 @@ class TiledDownscaler(Module):
         self.n_tiles = n_tiles
         self.halo = halo
         self.factor = factor
+        self.uneven = uneven
         self.last_tile_sequence_lengths: list[int] = []
 
     def forward(self, x: Tensor) -> Tensor:
         b, c, h, w = x.shape
         if self.n_tiles == 1:
             return self.model(x)
-        specs = make_tiles(h, w, self.n_tiles, self.halo)
+        specs = make_tiles(h, w, self.n_tiles, self.halo, uneven=self.uneven)
         outputs = []
         self.last_tile_sequence_lengths = []
         for spec in specs:

@@ -25,7 +25,7 @@ from .export import (chrome_trace, replan_summary, span_coverage,
 from .metrics import Histogram, MetricsRegistry
 from .monitor import (Alert, AlertRule, FlightRecorder, Monitor,
                       RollingWindow, TimeSeries, default_serve_rules,
-                      default_train_rules, health_summary)
+                      default_train_rules, health_summary, tile_serve_rules)
 from .tracer import Span, Tracer, active_tracer, span
 
 __all__ = [
@@ -34,5 +34,5 @@ __all__ = [
     "span_coverage", "summary_table", "step_summary", "replan_summary",
     "Alert", "AlertRule", "FlightRecorder", "Monitor", "RollingWindow",
     "TimeSeries", "default_train_rules", "default_serve_rules",
-    "health_summary",
+    "health_summary", "tile_serve_rules",
 ]

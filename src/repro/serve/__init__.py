@@ -22,7 +22,8 @@ from .service import (
     Response,
     ServeResult,
 )
-from .traffic import SCENARIOS, Request, TrafficGenerator
+from .tiling import TilePlan
+from .traffic import ROLLING, SCENARIOS, Request, TrafficGenerator
 
 __all__ = [
     "CacheStats",
@@ -33,6 +34,8 @@ __all__ = [
     "DownscalingService",
     "Response",
     "ServeResult",
+    "TilePlan",
+    "ROLLING",
     "SCENARIOS",
     "Request",
     "TrafficGenerator",

@@ -40,7 +40,11 @@ def content_key(array: np.ndarray) -> str:
     for field in (a.dtype.str, repr(a.shape)):
         h.update(len(field).to_bytes(4, "little"))
         h.update(field.encode())
-    h.update(a.tobytes())
+    # hash straight out of the array's buffer: ``a.data`` is a zero-copy
+    # memoryview over the C-contiguous storage, so no tobytes()
+    # materialization — tile-granular serving hashes every halo region
+    # of every arrival, making this the hot path of admission
+    h.update(a.data)
     return h.hexdigest()
 
 
@@ -95,7 +99,13 @@ class TileCache:
     # core verbs
     # ------------------------------------------------------------------ #
     def get(self, key: str, default=None):
-        """Look up ``key``, refreshing its recency; counts a hit or miss."""
+        """Look up ``key``, refreshing its recency; counts a hit or miss.
+
+        Hits return the stored array directly, with no defensive copy:
+        every resident array is frozen (``writeable = False``) by
+        :meth:`put`, so a caller cannot corrupt the cached bytes through
+        the returned reference.
+        """
         value = self._entries.get(key, _MISS)
         if value is _MISS:
             self.misses += 1
@@ -107,11 +117,15 @@ class TileCache:
     def put(self, key: str, value) -> str | None:
         """Insert or refresh ``key``; returns the evicted key, if any.
 
-        Array values are stored as frozen copies so later in-place
-        mutation of the caller's buffer cannot change what a future hit
-        returns.
+        Writable array values are stored as frozen copies so later
+        in-place mutation of the caller's buffer cannot change what a
+        future hit returns.  Arrays that arrive already frozen
+        (``writeable`` flag off — e.g. tile cores cropped by
+        :class:`~repro.serve.tiling.TilePlan`) are stored as-is: the
+        caller has promised immutability, so the defensive copy would be
+        pure overhead on the per-tile hot path.
         """
-        if isinstance(value, np.ndarray):
+        if isinstance(value, np.ndarray) and value.flags.writeable:
             value = value.copy()
             value.flags.writeable = False
         if key in self._entries:

@@ -44,14 +44,18 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.tiles import extract_tile
 from ..distributed.comm import VirtualCluster
-from ..distributed.perf_model import DEFAULT_SERVICE_TIME, service_time_model
+from ..distributed.perf_model import (DEFAULT_SERVICE_TIME, SERVE_DISPATCH_S,
+                                      service_time_model,
+                                      tile_service_time_model)
 from ..obs.clock import SimClock
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import Span
 from ..tensor import Tensor, no_grad
 from ..train.inference import build_inference_runner
 from .cache import TileCache, content_key
+from .tiling import TilePlan
 from .traffic import Request
 
 __all__ = ["AutoscalePolicy", "BatchPolicy", "Response", "ServeResult",
@@ -115,6 +119,10 @@ class Response:
     cache_hit: bool
     output: np.ndarray | None
     status: str = "ok"       # "ok" | "shed" (rejected by admission control)
+    # tile-granular serving only (0 on the whole-request path):
+    tiles: int = 0           # tiles the request was split into
+    tiles_hit: int = 0       # tiles answered from the tile cache at arrival
+    tiles_computed: int = 0  # tiles resolved by a batch completion
 
     @property
     def arrival_s(self) -> float:
@@ -179,6 +187,17 @@ class ServeResult:
                 "serve/replica_seconds",
                 self.n_replicas * self.duration_s),
         }
+        tile_lookups = (m.counters.get("serve/tile/hits", 0.0)
+                        + m.counters.get("serve/tile/misses", 0.0))
+        if tile_lookups:
+            occ = m.histograms.get("serve/tile/batch_occupancy")
+            out.update({
+                "tile_hits": m.counters.get("serve/tile/hits", 0.0),
+                "tile_misses": m.counters.get("serve/tile/misses", 0.0),
+                "tile_coalesced": m.counters.get("serve/tile/coalesced", 0.0),
+                "tile_hit_rate": m.gauges.get("serve/tile/hit_rate", 0.0),
+                "tile_batch_occupancy_mean": occ.mean if occ else 0.0,
+            })
         return out
 
     def export_chrome(self, path) -> None:
@@ -220,6 +239,20 @@ class DownscalingService:
     n_tiles / halo / factor / coarse_shape:
         Tiled-inference configuration, validated up front through
         :func:`repro.train.build_inference_runner`.
+    tile_serving:
+        Make the *tile* the unit of serving: requests are split into
+        halo tiles at admission, the cache is keyed per tile (content
+        hash over the halo-extended region + crop geometry + plan
+        epoch), and only missed tiles are recomputed — coalesced
+        across requests into shared per-signature batches.  Requires
+        ``n_tiles >= 2`` and ``coarse_shape``.  Outputs stay bitwise
+        identical to the whole-request path (the reassembly transcribes
+        ``stitch_tiles`` exactly).
+    plan_epoch:
+        Starting epoch folded into every tile key;
+        :meth:`bump_plan_epoch` (call it after a reshard / weight swap)
+        invalidates all resident tile entries without touching the
+        cache.
     service_time:
         ``batch_size -> seconds`` pricing of one dispatched batch;
         defaults to :func:`repro.distributed.perf_model.service_time_model`
@@ -247,6 +280,7 @@ class DownscalingService:
                  target_normalizer=None, n_tiles: int = 1, halo: int = 0,
                  factor: int | None = None,
                  coarse_shape: tuple[int, int] | None = None,
+                 tile_serving: bool = False, plan_epoch: int = 0,
                  service_time=None, config=None,
                  tokens_per_sample: int = 4096,
                  hit_latency_s: float = 1.0e-4,
@@ -292,6 +326,42 @@ class DownscalingService:
                 topology=self.cluster.topology)
         else:
             self.service_time = DEFAULT_SERVICE_TIME
+        self.plan_epoch = int(plan_epoch)
+        self.tile_plan: TilePlan | None = None
+        self.tile_service_time = None
+        if tile_serving:
+            if n_tiles < 2:
+                raise ValueError("tile_serving needs n_tiles >= 2")
+            if coarse_shape is None:
+                raise ValueError("tile_serving needs coarse_shape=(h, w)")
+            plan_factor = factor
+            if plan_factor is None:
+                # latency-only runs have no model; the factor only scales
+                # the crop geometry inside keys, so any constant works
+                plan_factor = getattr(model, "factor", None) or 1
+            self.tile_plan = TilePlan.build(coarse_shape, n_tiles, halo,
+                                            int(plan_factor))
+            if hasattr(service_time, "tile_time"):
+                self.tile_service_time = service_time
+            elif config is not None:
+                self.tile_service_time = tile_service_time_model(
+                    config, coarse_shape=self.tile_plan.coarse_shape,
+                    n_tiles=n_tiles, halo=halo,
+                    tokens_per_sample=tokens_per_sample,
+                    gpus_per_replica=self.gpus_per_replica,
+                    topology=self.cluster.topology)
+            else:
+                # derive per-tile pricing from whatever request-level
+                # model was supplied (or the generic default)
+                base = service_time if service_time is not None \
+                    else DEFAULT_SERVICE_TIME
+                self.tile_service_time = tile_service_time_model(
+                    None, coarse_shape=self.tile_plan.coarse_shape,
+                    n_tiles=n_tiles, halo=halo,
+                    per_sample_s=getattr(base, "per_sample_s",
+                                         DEFAULT_SERVICE_TIME.per_sample_s),
+                    dispatch_s=getattr(base, "dispatch_s",
+                                       SERVE_DISPATCH_S))
 
     # ------------------------------------------------------------------ #
     # replica layout
@@ -321,6 +391,42 @@ class DownscalingService:
         return f"sample:{req.sample}"
 
     # ------------------------------------------------------------------ #
+    # tile-granular serving helpers
+    # ------------------------------------------------------------------ #
+    def bump_plan_epoch(self) -> int:
+        """Invalidate every tile key — call after a reshard/weight swap.
+
+        The epoch participates in every key :class:`TilePlan` derives,
+        so bumping it orphans all resident entries (they age out of the
+        LRU) without clearing the cache or blocking traffic.
+        """
+        self.plan_epoch += 1
+        return self.plan_epoch
+
+    def _execute_tile(self, x: np.ndarray, i: int) -> np.ndarray:
+        """One tile forward, exactly as :class:`TiledDownscaler` runs it:
+        slice the halo-extended region, run the *inner* model (the
+        compiled per-tile program when ``compile=True``), crop the core.
+        Returns the frozen normalized core the cache stores."""
+        spec = self.tile_plan.specs[i]
+        with no_grad():
+            out = self._runner.model(extract_tile(Tensor(x[None]), spec)).data
+        return self.tile_plan.crop_core(out, i)
+
+    def _assemble(self, cores: list[np.ndarray]) -> np.ndarray:
+        """Reassemble cached/computed cores into the served output.
+
+        Mirrors :meth:`_execute` operation for operation — concatenate
+        normalized cores (the same ``stitch_tiles`` arithmetic), then
+        denormalize the assembled field — so the bytes match a
+        whole-request forward regardless of which tiles were hits.
+        """
+        pred = self.tile_plan.assemble(cores)
+        if self._target_normalizer is not None:
+            pred = self._target_normalizer.denormalize(pred)
+        return pred
+
+    # ------------------------------------------------------------------ #
     # the discrete-event loop
     # ------------------------------------------------------------------ #
     def run(self, requests: list[Request], monitor=None) -> ServeResult:
@@ -336,6 +442,8 @@ class DownscalingService:
         autoscaler's decisions — so SLO-burn/queue/shed rules evaluate
         at deterministic timestamps and replay bitwise.
         """
+        if self.tile_plan is not None:
+            return self._run_tiled(requests, monitor)
         clock = SimClock.frozen()
         metrics = MetricsRegistry()
         spans: list[Span] = []
@@ -555,6 +663,331 @@ class DownscalingService:
         if self.cache is not None:
             metrics.gauge("serve/cache/hit_rate", self.cache.hit_rate)
             metrics.gauge("serve/cache/size", len(self.cache))
+        metrics.gauge("serve/duration_s", duration)
+        if duration:
+            metrics.gauge("serve/throughput_rps", len(responses) / duration)
+        ordered = [responses[rid] for rid in sorted(responses)]
+        if any(resp is None for resp in ordered):
+            raise RuntimeError("scheduler dropped a request")  # unreachable
+        return ServeResult(responses=ordered, spans=spans, metrics=metrics,
+                           duration_s=duration, n_replicas=self.n_replicas,
+                           gpus_per_replica=self.gpus_per_replica,
+                           utilization=utilization)
+
+    # ------------------------------------------------------------------ #
+    # the tile-granular event loop
+    # ------------------------------------------------------------------ #
+    def _run_tiled(self, requests: list[Request], monitor=None) -> ServeResult:
+        """Serve with the tile as the scheduling unit.
+
+        Each admitted request is split into its plan's halo tiles; hits
+        resolve from the tile cache at arrival, misses become tile
+        *jobs*.  Jobs are deduplicated by key across requests (two
+        requests wanting the same tile content share one compute — the
+        second becomes a waiter) and batched per halo-shape signature so
+        every dispatched batch replays one compiled program.  A request
+        responds when its last tile resolves; the reassembled output is
+        bitwise identical to the whole-request path.
+        """
+        plan = self.tile_plan
+        n_t = plan.n_tiles
+        clock = SimClock.frozen()
+        metrics = MetricsRegistry()
+        spans: list[Span] = []
+        responses: dict[int, Response] = {}
+        pending: list[dict] = []        # FIFO queue of missed-tile jobs
+        open_jobs: dict[str, dict] = {}  # key -> job, queued or in flight
+        assemblies: dict[int, dict] = {}  # rid -> in-progress reassembly
+        busy_s = [0.0] * self.n_replicas
+        free = [0.0] * self.n_replicas
+        batches = 0
+        start_active = (self.autoscale.min_replicas
+                        if self.autoscale is not None else self.n_replicas)
+        active = [r < start_active for r in range(self.n_replicas)]
+        window_open: dict[int, float] = {r: 0.0 for r in range(start_active)}
+        replica_seconds = [0.0] * self.n_replicas
+        last_scale = float("-inf")
+
+        heap: list[tuple[float, int, int, object]] = []
+        seq = 0
+
+        def push(t: float, kind: int, payload) -> None:
+            nonlocal seq
+            heapq.heappush(heap, (t, kind, seq, payload))
+            seq += 1
+
+        for req in sorted(requests, key=lambda r: (r.arrival_s, r.rid)):
+            if req.rid in responses:
+                raise ValueError(f"duplicate request id {req.rid}")
+            responses[req.rid] = None
+            push(req.arrival_s, _ARRIVAL, req)
+
+        def tile_key(req: Request, i: int) -> str:
+            return plan.tile_key(i, input=req.input,
+                                 versions=req.tile_versions,
+                                 sample=req.sample, epoch=self.plan_epoch)
+
+        def maybe_scale_up(now: float) -> None:
+            au = self.autoscale
+            if au is None:
+                return
+            nonlocal last_scale
+            n_act = sum(active)
+            if (n_act < self.n_replicas
+                    and len(pending) >= au.scale_up_depth * n_act
+                    and now - last_scale >= au.cooldown_s):
+                r = active.index(False)
+                active[r] = True
+                free[r] = max(free[r], now + au.spinup_s)
+                window_open[r] = now
+                last_scale = now
+                metrics.inc("serve/scale_up")
+                if monitor is not None:
+                    monitor.event("scale_up", t=now, replica=r,
+                                  queue_depth=len(pending),
+                                  active=sum(active))
+                spans.append(Span(
+                    name="serve/scale_up", cat="serve",
+                    rank=self.home_rank(r), start_s=now, dur_s=au.spinup_s,
+                    depth=1, args={"replica": r, "queue_depth": len(pending),
+                                   "modeled": True}))
+                push(now + au.spinup_s, _DEADLINE, None)
+
+        def maybe_scale_down(now: float) -> None:
+            au = self.autoscale
+            if au is None or pending:
+                return
+            nonlocal last_scale
+            if sum(active) <= au.min_replicas or now - last_scale < au.cooldown_s:
+                return
+            for r in reversed(range(self.n_replicas)):
+                if active[r] and free[r] <= now:
+                    active[r] = False
+                    replica_seconds[r] += now - window_open.pop(r)
+                    last_scale = now
+                    metrics.inc("serve/scale_down")
+                    if monitor is not None:
+                        monitor.event("scale_down", t=now, replica=r,
+                                      active=sum(active))
+                    break
+
+        def try_dispatch(now: float) -> None:
+            nonlocal batches
+            while pending:
+                idle = [r for r in range(self.n_replicas)
+                        if active[r] and free[r] <= now]
+                if not idle:
+                    return
+                # the batch leads with the oldest job's signature: tiles
+                # in one batch share a halo shape, so one compiled plan
+                # serves the whole forward
+                sig = pending[0]["sig"]
+                same_sig = [j for j in pending if j["sig"] == sig]
+                full = len(same_sig) >= self.policy.max_batch
+                due = pending[0]["arrival_s"] + self.policy.max_wait_s <= now
+                if not (full or due):
+                    return
+                batch = same_sig[: self.policy.max_batch]
+                taken = set(map(id, batch))
+                pending[:] = [j for j in pending if id(j) not in taken]
+                replica = idle[0]
+                dur = float(self.tile_service_time(len(batch), sig))
+                if dur < 0.0:
+                    raise ValueError(
+                        "service_time returned a negative duration")
+                end = now + dur
+                free[replica] = end
+                for rank in self.replica_ranks(replica):
+                    clock.advance(rank, max(0.0, end - clock.now(rank)))
+                busy_s[replica] += dur
+                batches += 1
+                metrics.inc("serve/batches")
+                metrics.inc(f"serve/replica/{replica}/batches")
+                metrics.observe("serve/batch_size", len(batch))
+                metrics.observe("serve/tile/batch_occupancy",
+                                len(batch) / self.policy.max_batch)
+                spans.append(Span(
+                    name="serve/batch", cat="serve",
+                    rank=self.home_rank(replica), start_s=now, dur_s=dur,
+                    depth=1,
+                    args={"replica": replica, "batch_size": len(batch),
+                          "tiles": [j["tile"] for j in batch],
+                          "signature": list(sig), "modeled": True}))
+                # child spans: the dispatch overhead leads, then the
+                # tiles run back to back inside the batch window
+                dispatch_s = getattr(self.tile_service_time,
+                                     "dispatch_s", 0.0)
+                tile_s = max(0.0, dur - dispatch_s) / len(batch)
+                t0 = now + (dur - tile_s * len(batch))
+                for k, j in enumerate(batch):
+                    spans.append(Span(
+                        name="serve/tile", cat="serve",
+                        rank=self.home_rank(replica),
+                        start_s=t0 + k * tile_s, dur_s=tile_s, depth=2,
+                        args={"tile": j["tile"],
+                              "waiters": len(j["waiters"]),
+                              "modeled": True}))
+                outputs = None
+                if self._runner is not None:
+                    outputs = [self._execute_tile(j["input"], j["tile"])
+                               for j in batch]
+                push(end, _COMPLETE, (replica, batch, now, outputs))
+
+        def respond(req: Request, dispatch_s: float, complete_s: float,
+                    replica: int | None, batch_size: int, cache_hit: bool,
+                    output, hits: int, computed: int) -> None:
+            responses[req.rid] = Response(
+                request=req, dispatch_s=dispatch_s, complete_s=complete_s,
+                replica=replica, batch_size=batch_size, cache_hit=cache_hit,
+                output=output, tiles=n_t, tiles_hit=hits,
+                tiles_computed=computed)
+            metrics.inc("serve/requests")
+            metrics.observe("serve/latency_s", complete_s - req.arrival_s)
+            metrics.observe("serve/queue_wait_s", dispatch_s - req.arrival_s)
+            if monitor is not None:
+                monitor.record("serve/latency_s", complete_s - req.arrival_s,
+                               t=complete_s)
+
+        duration = 0.0
+        while heap:
+            now, kind, _, payload = heapq.heappop(heap)
+            duration = max(duration, now)
+            if kind == _COMPLETE:
+                replica, batch, start, outputs = payload
+                for idx, job in enumerate(batch):
+                    core = outputs[idx] if outputs is not None else True
+                    if self.cache is not None:
+                        evicted_before = self.cache.evictions
+                        self.cache.put(job["key"], core)
+                        metrics.inc("serve/cache/evictions",
+                                    self.cache.evictions - evicted_before)
+                    open_jobs.pop(job["key"], None)
+                    for rid, tile in job["waiters"]:
+                        asm = assemblies[rid]
+                        asm["remaining"] -= 1
+                        asm["computed"] += 1
+                        if asm["cores"] is not None:
+                            asm["cores"][tile] = core
+                        if asm["dispatch_s"] is None:
+                            asm["dispatch_s"] = start
+                        if asm["remaining"] == 0:
+                            req = asm["req"]
+                            output = None
+                            if asm["cores"] is not None:
+                                output = self._assemble(asm["cores"])
+                            # a coalesced tile may have been dispatched
+                            # before this request arrived — queue wait
+                            # is never negative
+                            dispatch = max(asm["dispatch_s"], req.arrival_s)
+                            respond(req, dispatch, now, replica, len(batch),
+                                    cache_hit=False, output=output,
+                                    hits=asm["hits"],
+                                    computed=asm["computed"])
+                            del assemblies[rid]
+            elif kind == _ARRIVAL:
+                req = payload
+                shed_this = 0.0
+                keys = [tile_key(req, i) for i in range(n_t)]
+                # membership pre-check (touches no cache counters): the
+                # shed decision must not pollute hit/miss accounting
+                needs_new = [
+                    i for i, k in enumerate(keys)
+                    if k not in open_jobs
+                    and (self.cache is None or k not in self.cache)]
+                if (needs_new and self.max_queue_depth is not None
+                        and len(pending) >= self.max_queue_depth):
+                    metrics.inc("serve/shed")
+                    metrics.inc("serve/requests")
+                    shed_this = 1.0
+                    responses[req.rid] = Response(
+                        request=req, dispatch_s=now, complete_s=now,
+                        replica=None, batch_size=0, cache_hit=False,
+                        output=None, status="shed", tiles=n_t)
+                else:
+                    cores = [None] * n_t if self._runner is not None else None
+                    hits = 0
+                    remaining = 0
+                    for i in range(n_t):
+                        value = _MISS_SENTINEL
+                        if self.cache is not None:
+                            value = self.cache.get(keys[i], _MISS_SENTINEL)
+                        if value is not _MISS_SENTINEL:
+                            hits += 1
+                            metrics.inc("serve/tile/hits")
+                            if cores is not None:
+                                cores[i] = value
+                            continue
+                        metrics.inc("serve/tile/misses")
+                        remaining += 1
+                        job = open_jobs.get(keys[i])
+                        if job is not None:
+                            # identical tile already queued or in flight
+                            # (another request, or a duplicate-content
+                            # tile of this one): wait on its compute
+                            job["waiters"].append((req.rid, i))
+                            metrics.inc("serve/tile/coalesced")
+                        else:
+                            job = {"key": keys[i], "tile": i,
+                                   "sig": plan.signature(i),
+                                   "arrival_s": now, "input": req.input,
+                                   "waiters": [(req.rid, i)]}
+                            open_jobs[keys[i]] = job
+                            pending.append(job)
+                    if remaining == 0:
+                        end = now + self.hit_latency_s
+                        duration = max(duration, end)
+                        output = (self._assemble(cores)
+                                  if cores is not None else None)
+                        respond(req, now, end, None, 1, cache_hit=True,
+                                output=output, hits=hits, computed=0)
+                    else:
+                        assemblies[req.rid] = {
+                            "req": req, "cores": cores,
+                            "remaining": remaining, "hits": hits,
+                            "computed": 0, "dispatch_s": None,
+                        }
+                        if needs_new:
+                            push(req.arrival_s + self.policy.max_wait_s,
+                                 _DEADLINE, None)
+                        maybe_scale_up(now)
+                    if monitor is not None:
+                        monitor.record("serve/tile_miss_rate",
+                                       remaining / n_t, t=now)
+                metrics.observe("serve/queue_depth", len(pending))
+                if monitor is not None:
+                    monitor.record("serve/queue_depth", len(pending), t=now)
+                    monitor.record("serve/shed_event", shed_this, t=now)
+            try_dispatch(now)
+            maybe_scale_down(now)
+            if pending and not heap:
+                wake = min(min(free[r] for r in range(self.n_replicas)
+                               if active[r]),
+                           pending[0]["arrival_s"] + self.policy.max_wait_s)
+                push(max(wake, now), _DEADLINE, None)
+
+        # ---------------- close out: roots, gauges ---------------- #
+        for r, opened in window_open.items():
+            replica_seconds[r] += duration - opened
+        metrics.gauge("serve/replica_seconds", sum(replica_seconds))
+        utilization: dict[int, float] = {}
+        for r in range(self.n_replicas):
+            util = busy_s[r] / duration if duration else 0.0
+            utilization[r] = util
+            metrics.inc(f"serve/replica/{r}/busy_s", busy_s[r])
+            metrics.gauge(f"serve/replica/{r}/utilization", util)
+            spans.append(Span(
+                name="serve/replica", cat="serve", rank=self.home_rank(r),
+                start_s=0.0, dur_s=duration, depth=0,
+                args={"replica": r, "ranks": self.replica_ranks(r),
+                      "utilization": util,
+                      "active_s": replica_seconds[r], "modeled": True}))
+        if self.cache is not None:
+            metrics.gauge("serve/cache/hit_rate", self.cache.hit_rate)
+            metrics.gauge("serve/cache/size", len(self.cache))
+        th = metrics.counters.get("serve/tile/hits", 0.0)
+        tm = metrics.counters.get("serve/tile/misses", 0.0)
+        metrics.gauge("serve/tile/hit_rate",
+                      th / (th + tm) if th + tm else 0.0)
         metrics.gauge("serve/duration_s", duration)
         if duration:
             metrics.gauge("serve/throughput_rps", len(responses) / duration)

@@ -21,6 +21,21 @@ Each request references one of ``n_inputs`` distinct coarse fields with
 Zipf-skewed popularity (exponent ``popularity``), so a content-keyed
 cache sees realistic repeat traffic: a few hot regions requested over
 and over, a long tail requested rarely.
+
+A fourth, temporally-correlated scenario exercises tile-granular
+serving:
+
+* ``rolling`` — one global forecast state evolving in place: arrivals
+  are steady Poisson, and between them a seeded tile-update process
+  (rate ``tile_update_rate`` updates/s) rewrites the content of one
+  coarse tile at a time.  Every request asks for the *current* state,
+  so consecutive requests share most of their grid — a whole-request
+  content cache misses on every update while a per-tile cache pays only
+  for the tiles that actually changed.  Latency-only requests carry
+  ``tile_versions`` (the per-tile version vector at arrival) so the
+  scheduler can key tiles without materializing arrays; executed
+  requests carry the evolved field itself, built by re-noising the
+  updated tile's core region of the base input.
 """
 
 from __future__ import annotations
@@ -30,9 +45,10 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["Request", "SCENARIOS", "TrafficGenerator"]
+__all__ = ["Request", "ROLLING", "SCENARIOS", "TrafficGenerator"]
 
 SCENARIOS = ("steady", "diurnal", "burst")
+ROLLING = "rolling"
 
 
 @dataclass(frozen=True)
@@ -49,6 +65,10 @@ class Request:
     arrival_s: float
     sample: int
     input: np.ndarray | None = field(default=None, repr=False)
+    #: rolling-forecast scenarios: the per-tile version vector at
+    #: arrival time, the latency-only stand-in for content identity
+    #: (tile i's key changes exactly when tile_versions[i] does)
+    tile_versions: tuple[int, ...] | None = None
 
 
 class TrafficGenerator:
@@ -58,10 +78,11 @@ class TrafficGenerator:
                  *, seed: int = 0, n_inputs: int = 16,
                  popularity: float = 1.0, diurnal_amplitude: float = 0.8,
                  period_s: float | None = None, burst_factor: float = 6.0,
-                 burst_start: float = 0.4, burst_width: float = 0.2):
-        if scenario not in SCENARIOS:
+                 burst_start: float = 0.4, burst_width: float = 0.2,
+                 n_tiles: int = 16, tile_update_rate: float = 4.0):
+        if scenario not in SCENARIOS + (ROLLING,):
             raise ValueError(f"unknown scenario {scenario!r}; "
-                             f"expected one of {SCENARIOS}")
+                             f"expected one of {SCENARIOS + (ROLLING,)}")
         if rate_rps <= 0 or duration_s <= 0:
             raise ValueError("rate_rps and duration_s must be positive")
         if not 0.0 <= diurnal_amplitude < 1.0:
@@ -72,6 +93,19 @@ class TrafficGenerator:
             raise ValueError("burst window fractions out of range")
         if n_inputs < 1:
             raise ValueError("need at least one distinct input")
+        if scenario == ROLLING:
+            if n_tiles < 1:
+                raise ValueError("rolling scenario needs n_tiles >= 1")
+            if tile_update_rate < 0.0:
+                raise ValueError("tile_update_rate must be >= 0")
+        self.n_tiles = n_tiles
+        self.tile_update_rate = float(tile_update_rate)
+        #: rolling only: the distinct evolved states generate() produced
+        #: (index == Request.sample); arrays when inputs were given,
+        #: else None placeholders.  The bitwise serving gates build
+        #: their reference predictions from this list.
+        self.states: list[np.ndarray | None] = []
+        self.state_versions: list[tuple[int, ...]] = []
         self.scenario = scenario
         self.rate_rps = float(rate_rps)
         self.duration_s = float(duration_s)
@@ -90,7 +124,7 @@ class TrafficGenerator:
     # ------------------------------------------------------------------ #
     def rate_at(self, t: float) -> float:
         """Instantaneous arrival rate (requests/s) at scenario time ``t``."""
-        if self.scenario == "steady":
+        if self.scenario in ("steady", ROLLING):
             return self.rate_rps
         if self.scenario == "diurnal":
             # trough at t=0, peak mid-period; time-average is rate_rps
@@ -102,7 +136,7 @@ class TrafficGenerator:
 
     @property
     def peak_rate_rps(self) -> float:
-        if self.scenario == "steady":
+        if self.scenario in ("steady", ROLLING):
             return self.rate_rps
         if self.scenario == "diurnal":
             return self.rate_rps * (1.0 + self.diurnal_amplitude)
@@ -133,7 +167,13 @@ class TrafficGenerator:
         must have ``n_inputs`` entries and is attached per-request so the
         service can execute for real.  Without it requests carry
         ``input=None`` (latency-only mode).
+
+        The ``rolling`` scenario interprets ``inputs`` differently: a
+        single base field ``[base]`` that the seeded tile-update process
+        evolves in place — see :meth:`_generate_rolling`.
         """
+        if self.scenario == ROLLING:
+            return self._generate_rolling(inputs)
         if inputs is not None and len(inputs) != self.n_inputs:
             raise ValueError(f"{len(inputs)} inputs for n_inputs={self.n_inputs}")
         rng = np.random.default_rng(self.seed)
@@ -154,3 +194,76 @@ class TrafficGenerator:
                     input=None if inputs is None else inputs[int(s)])
             for i, (ts, s) in enumerate(zip(times, samples))
         ]
+
+    def _generate_rolling(self, inputs: Sequence[np.ndarray] | None) -> list[Request]:
+        """The rolling-forecast request list (temporally correlated).
+
+        One global state evolves over the window: a homogeneous Poisson
+        update process at ``tile_update_rate`` bumps one uniformly-drawn
+        tile's version per event (and, in executed mode, re-noises that
+        tile's core region of the base field).  Each steady-Poisson
+        arrival requests the state current at its arrival time.
+        Distinct states are deduplicated: ``Request.sample`` indexes
+        ``self.states`` / ``self.state_versions``, so equal states share
+        one array and the bitwise gates need only one reference
+        prediction per state.
+        """
+        if inputs is not None and len(inputs) != 1:
+            raise ValueError(
+                f"rolling takes a single base field, got {len(inputs)} inputs")
+        base = None if inputs is None else np.asarray(inputs[0])
+        rng = np.random.default_rng(self.seed)
+        # draw order is fixed (arrivals, update times, update tiles) so
+        # the same seed reproduces the same timeline exactly
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t += rng.exponential(1.0 / self.rate_rps)
+            if t >= self.duration_s:
+                break
+            times.append(t)
+        update_times: list[float] = []
+        if self.tile_update_rate > 0.0:
+            t = 0.0
+            while True:
+                t += rng.exponential(1.0 / self.tile_update_rate)
+                if t >= self.duration_s:
+                    break
+                update_times.append(t)
+        update_tiles = rng.integers(0, self.n_tiles, size=len(update_times))
+
+        core_regions = None
+        if base is not None:
+            from ..core.tiles import make_tiles
+            h, w = base.shape[-2:]
+            core_regions = [(s.y0, s.y1, s.x0, s.x1)
+                            for s in make_tiles(h, w, self.n_tiles, 0)]
+
+        versions = [0] * self.n_tiles
+        current = base
+        self.states = []
+        self.state_versions = []
+        state_index: dict[tuple[int, ...], int] = {}
+        requests: list[Request] = []
+        next_update = 0
+        for rid, ts in enumerate(times):
+            while next_update < len(update_times) and update_times[next_update] <= ts:
+                tile = int(update_tiles[next_update])
+                versions[tile] += 1
+                if current is not None:
+                    y0, y1, x0, x1 = core_regions[tile]
+                    current = current.copy()
+                    current[..., y0:y1, x0:x1] = rng.standard_normal(
+                        current[..., y0:y1, x0:x1].shape).astype(current.dtype)
+                next_update += 1
+            vt = tuple(versions)
+            sample = state_index.get(vt)
+            if sample is None:
+                sample = len(self.states)
+                state_index[vt] = sample
+                self.states.append(current)
+                self.state_versions.append(vt)
+            requests.append(Request(
+                rid=rid, arrival_s=float(ts), sample=sample,
+                input=self.states[sample], tile_versions=vt))
+        return requests

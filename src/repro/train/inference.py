@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.tiles import TiledDownscaler, make_tiles
+from ..core.tiles import TiledDownscaler, make_tiles, tile_grid
 from ..data.datasets import DownscalingDataset
 from ..data.normalize import log1p_precip
 from ..evals import evaluate_all
@@ -24,7 +24,8 @@ __all__ = ["build_inference_runner", "predict_dataset",
 def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
                            factor: int | None = None,
                            coarse_shape: tuple[int, int] | None = None,
-                           compile: bool = False) -> Module:
+                           compile: bool = False,
+                           uneven: bool = False) -> Module:
     """The inference runner for a (possibly tiled) downscaler, validated
     up front.
 
@@ -60,13 +61,29 @@ def build_inference_runner(model: Module, n_tiles: int = 1, halo: int = 0,
             "factor required for tiled inference: pass factor= or use a "
             "model with a .factor attribute")
     if coarse_shape is not None:
-        # raises the tile-geometry errors (non-divisible grid, halo >=
-        # tile core) before any forward pass runs
-        make_tiles(coarse_shape[0], coarse_shape[1], n_tiles, halo)
-    # compile wraps the inner model: per-tile shapes are identical, so
-    # one captured program serves every tile; stitching stays eager
+        rows, cols = tile_grid(n_tiles)
+        h, w = int(coarse_shape[0]), int(coarse_shape[1])
+        if uneven or (h % rows == 0 and w % cols == 0):
+            # the floor-division tile extent is the smallest tile either
+            # way (uneven splits give the trailing rows/cols this size)
+            tile_h, tile_w = h // rows, w // cols
+            if halo >= tile_h or halo >= tile_w:
+                raise ValueError(
+                    f"halo {halo} does not fit the tile extent "
+                    f"({tile_h}x{tile_w}) of a {rows}x{cols} tiling over "
+                    f"grid {(h, w)}: a tile's halo-extended slice would "
+                    f"swallow its neighbours — use halo < "
+                    f"{min(tile_h, tile_w)} or fewer tiles")
+        # raises the remaining tile-geometry errors (non-divisible
+        # grid, negative halo) before any forward pass runs
+        make_tiles(h, w, n_tiles, halo, uneven=uneven)
+    # compile wraps the inner model: per-tile shapes are identical for
+    # even tiling, so one captured program serves every tile (uneven
+    # tiling falls back to one plan per distinct shape); stitching
+    # stays eager
     inner = CompiledForward(model) if compile else model
-    return TiledDownscaler(inner, n_tiles=n_tiles, halo=halo, factor=int(factor))
+    return TiledDownscaler(inner, n_tiles=n_tiles, halo=halo,
+                           factor=int(factor), uneven=uneven)
 
 
 def predict_dataset(model: Module, dataset: DownscalingDataset,
@@ -136,7 +153,8 @@ def global_inference(model: Module, coarse_input: np.ndarray,
                      normalizer, observation: np.ndarray,
                      precip_channel: int, target_normalizer=None,
                      n_tiles: int = 1, halo: int = 0,
-                     factor: int | None = None) -> dict[str, float]:
+                     factor: int | None = None,
+                     uneven: bool = False) -> dict[str, float]:
     """The Fig. 8 experiment: downscale a global field and score it
     against an independent (IMERG-like) observation, no fine-tuning.
 
@@ -147,7 +165,8 @@ def global_inference(model: Module, coarse_input: np.ndarray,
     model.eval()
     runner = build_inference_runner(model, n_tiles=n_tiles, halo=halo,
                                     factor=factor,
-                                    coarse_shape=coarse_input.shape[-2:])
+                                    coarse_shape=coarse_input.shape[-2:],
+                                    uneven=uneven)
     with no_grad():
         normalized = normalizer.normalize(coarse_input)
         pred = runner(Tensor(normalized[None])).data[0]

@@ -86,7 +86,7 @@ class TestInferenceValidation:
     def test_halo_too_large_raises_before_any_forward(self):
         # dataset coarse grid is 4x8; n_tiles=2 splits the 8-wide axis
         # into 4-wide cores, so halo=4 cannot fit
-        with pytest.raises(ValueError, match="halo.*tile core"):
+        with pytest.raises(ValueError, match="halo.*does not fit the tile extent"):
             predict_dataset(_model(), _dataset(), n_tiles=2, halo=4)
 
     def test_non_divisible_grid_raises_up_front(self):
@@ -99,7 +99,7 @@ class TestInferenceValidation:
         coarse = np.abs(rng.standard_normal((23, 4, 8))).astype(np.float32)
         norm = ChannelNormalizer.fit(coarse[None])
         obs = np.abs(rng.standard_normal((16, 32))).astype(np.float32)
-        with pytest.raises(ValueError, match="halo.*tile core"):
+        with pytest.raises(ValueError, match="halo.*does not fit the tile extent"):
             global_inference(model, coarse, norm, obs, precip_channel=2,
                              n_tiles=2, halo=4)
 

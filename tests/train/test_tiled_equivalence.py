@@ -1,0 +1,117 @@
+"""Property tests pinning tiled-with-halo inference bitwise-equal to an
+untiled pass.
+
+TILES with a halo is exact — not approximate — whenever the model's
+receptive field fits inside the halo: every core pixel then sees the
+identical neighbourhood (same float values, same operation order) it
+would see untiled, and ``stitch_tiles`` only rearranges finished bytes.
+The probe model below is a strictly-local windowed sum (receptive
+radius == halo) with a nearest-neighbour upsample, so the property holds
+for *any* grid — odd sizes, ``n_tiles`` that don't divide the grid
+(``uneven=True`` array_split tiling), and ``halo ∈ {0, 1, 3}``.
+
+Reslim itself can't serve as the probe: its patch embedding constrains
+tile shapes and its attention is deliberately tile-confined (that
+approximation is measured in ``bench_ablation_halo``); the bitwise
+contract under test here is the *geometry's*, not the transformer's.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_tiles, tile_grid
+from repro.nn import Module
+from repro.tensor import Tensor
+from repro.train import build_inference_runner, global_inference
+
+
+class LocalMeanDownscaler(Module):
+    """Windowed sum of radius ``r`` + nearest-neighbour ×``factor``.
+
+    Zero-padded at the array edge — which tiled and untiled passes place
+    at the *same* grid positions (halos clamp at the boundary), so the
+    outputs agree bitwise whenever ``r <= halo``.
+    """
+
+    def __init__(self, radius: int, factor: int = 2):
+        super().__init__()
+        self.radius = radius
+        self.factor = factor
+
+    def forward(self, x: Tensor) -> Tensor:
+        a = x.data
+        _, _, h, w = a.shape
+        p = self.radius
+        padded = np.pad(a, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = np.zeros_like(a)
+        # fixed (dy, dx) accumulation order keeps float addition order
+        # identical between tiled and untiled evaluation
+        for dy in range(2 * p + 1):
+            for dx in range(2 * p + 1):
+                out = out + padded[:, :, dy:dy + h, dx:dx + w]
+        return Tensor(out.repeat(self.factor, axis=2)
+                         .repeat(self.factor, axis=3))
+
+
+class _IdentityNormalizer:
+    def normalize(self, x):
+        return x
+
+    def denormalize(self, x):
+        return x
+
+
+@settings(max_examples=40, deadline=None, derandomize=True)
+@given(h=st.integers(5, 17), w=st.integers(5, 17),
+       n_tiles=st.sampled_from([2, 3, 4, 5, 6, 8]),
+       halo=st.sampled_from([0, 1, 3]))
+def test_tiled_bitwise_equals_untiled(h, w, n_tiles, halo):
+    rows, cols = tile_grid(n_tiles)
+    assume(rows <= h and cols <= w)
+    # the smallest (floor-division) tile must still contain the halo
+    assume(halo < h // rows and halo < w // cols)
+    model = LocalMeanDownscaler(radius=halo, factor=2)
+    rng = np.random.default_rng(1000 * h + 100 * w + 10 * n_tiles + halo)
+    x = rng.standard_normal((1, 2, h, w)).astype(np.float32)
+    untiled = model(Tensor(x)).data
+    runner = build_inference_runner(model, n_tiles=n_tiles, halo=halo,
+                                    coarse_shape=(h, w), uneven=True)
+    tiled = runner(Tensor(x)).data
+    assert tiled.shape == untiled.shape
+    assert tiled.tobytes() == untiled.tobytes()
+
+
+def test_global_inference_tiled_matches_untiled():
+    """The Fig. 8 entry point: tiled global inference over an odd grid
+    that does not divide into the tile layout scores identically to the
+    untiled pass — every metric, to the last bit."""
+    model = LocalMeanDownscaler(radius=1, factor=2)
+    rng = np.random.default_rng(3)
+    coarse = rng.standard_normal((3, 9, 15)).astype(np.float32)
+    observation = np.abs(rng.standard_normal((18, 30))).astype(np.float32)
+    norm = _IdentityNormalizer()
+    untiled = global_inference(model, coarse, norm, observation,
+                               precip_channel=0, target_normalizer=norm)
+    tiled = global_inference(model, coarse, norm, observation,
+                             precip_channel=0, target_normalizer=norm,
+                             n_tiles=6, halo=1, uneven=True)
+    assert tiled == untiled
+
+
+def test_uneven_requires_opt_in():
+    model = LocalMeanDownscaler(radius=0, factor=2)
+    with pytest.raises(ValueError, match="not divisible"):
+        build_inference_runner(model, n_tiles=4, halo=0, coarse_shape=(15, 16))
+
+
+def test_uneven_partition_covers_grid():
+    tiles = make_tiles(15, 17, 4, halo=1, uneven=True)
+    cover = np.zeros((15, 17), dtype=int)
+    for t in tiles:
+        cover[t.y0:t.y1, t.x0:t.x1] += 1
+    np.testing.assert_array_equal(cover, 1)
+    # np.array_split order: leading rows/cols take the remainder
+    assert tiles[0].core_shape == (8, 9)
+    assert tiles[-1].core_shape == (7, 8)
